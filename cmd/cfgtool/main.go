@@ -1,0 +1,143 @@
+// Command cfgtool dumps the static analyses — control flow graph,
+// postdominator tree, control dependence graph, and spawn points — for an
+// assembly program, or for the paper's running example (Figures 1-3).
+//
+// Usage:
+//
+//	cfgtool -example paper          # the loop-with-if-then-else of Figure 1
+//	cfgtool -file prog.s            # analyze an assembly file
+//	cfgtool -bench twolf            # analyze a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// paperExample is an assembly rendering of the paper's Figure 1: a loop
+// containing an if-then-else. Blocks A..F match the figure.
+const paperExample = `# Figure 1: loop containing an if-then-else
+        .func main
+A:      addi $t9, $t9, 1          # block A
+B:      andi $t0, $t9, 1          # block B
+        beq  $t0, $zero, D
+C:      addi $s0, $s0, 1          # block C
+        j    E
+D:      addi $s0, $s0, 2          # block D
+E:      add  $s1, $s1, $s0        # block E
+F:      slti $t1, $t9, 10         # block F
+        bne  $t1, $zero, A
+        halt
+`
+
+func main() {
+	example := flag.String("example", "", `"paper" prints the Figure 1-3 analyses`)
+	file := flag.String("file", "", "assembly file to analyze")
+	bench := flag.String("bench", "", "built-in workload to analyze")
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *example == "paper":
+		src, name = paperExample, "paper-figure-1"
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		src, name = string(data), *file
+	case *bench != "":
+		w, ok := workloads.ByName(*bench)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q (have %v)", *bench, workloads.Names()))
+		}
+		src, name = w.Source, w.Name
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		fail(err)
+	}
+	an, err := core.Analyze(prog, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("=== %s: %d instructions, %d functions ===\n\n", name, len(prog.Code), len(an.Funcs))
+	for _, fa := range an.Funcs {
+		dumpFunc(prog, fa)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cfgtool:", err)
+	os.Exit(1)
+}
+
+func blockName(prog *isa.Program, fa *core.FuncAnalysis, id int) string {
+	b := fa.Graph.Blocks[id]
+	if b.Virtual {
+		return "<exit>"
+	}
+	return fmt.Sprintf("B%d(%s)", id, prog.SymbolFor(b.Start))
+}
+
+func dumpFunc(prog *isa.Program, fa *core.FuncAnalysis) {
+	g := fa.Graph
+	fmt.Printf("--- function %s ---\n", prog.SymbolFor(g.FuncEntry))
+	fmt.Println("control flow graph:")
+	fmt.Print(g.Dump())
+
+	fmt.Println("postdominator tree (node <- immediate postdominator):")
+	for _, b := range g.Blocks {
+		if b.Virtual {
+			continue
+		}
+		ip := fa.PDom.IDom[b.ID]
+		if ip < 0 {
+			fmt.Printf("  %s <- (none)\n", blockName(prog, fa, b.ID))
+			continue
+		}
+		fmt.Printf("  %s <- %s\n", blockName(prog, fa, b.ID), blockName(prog, fa, ip))
+	}
+
+	fmt.Println("control dependences (branch -> dependent blocks):")
+	for _, b := range g.Blocks {
+		if b.Virtual || len(fa.CDG.Controls[b.ID]) == 0 {
+			continue
+		}
+		deps := append([]int(nil), fa.CDG.Controls[b.ID]...)
+		sort.Ints(deps)
+		fmt.Printf("  %s ->", blockName(prog, fa, b.ID))
+		for _, x := range deps {
+			fmt.Printf(" %s", blockName(prog, fa, x))
+		}
+		fmt.Println()
+	}
+
+	if len(fa.Loops.Loops) > 0 {
+		fmt.Println("natural loops:")
+		for _, l := range fa.Loops.Loops {
+			fmt.Printf("  header %s depth %d latches %v body %d blocks\n",
+				blockName(prog, fa, l.Header), l.Depth, l.Latches, len(l.Body))
+		}
+	}
+
+	if len(fa.Spawns) > 0 {
+		fmt.Println("control-equivalent spawn points:")
+		for _, s := range fa.Spawns {
+			fmt.Printf("  %-8s 0x%x (%s) -> 0x%x (%s)\n", s.Kind,
+				s.From, prog.SymbolFor(s.From), s.Target, prog.SymbolFor(s.Target))
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,103 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	experiments                   # all figures, text tables
+//	experiments -fig 9            # a single figure (5, 8, 9, 10, 11, 12)
+//	experiments -fig 9 -format csv
+//	experiments -fig 12 -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+var format = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (0 = all)")
+	flag.Parse()
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+	if err := run(want); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func emitSpeedup(t *harness.SpeedupTable) error {
+	switch *format {
+	case "csv":
+		return t.WriteCSV(os.Stdout)
+	case "json":
+		return t.WriteJSON(os.Stdout)
+	default:
+		fmt.Println(t.Format())
+		return nil
+	}
+}
+
+func run(want func(int) bool) error {
+	if want(5) {
+		rows, err := harness.Figure5()
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			if err := harness.WriteFigure5CSV(os.Stdout, rows); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(harness.FormatFigure5(rows))
+		}
+	}
+	if want(8) {
+		fmt.Println(harness.Figure8())
+	}
+	if want(9) {
+		t, err := harness.Figure9()
+		if err != nil {
+			return err
+		}
+		if err := emitSpeedup(t); err != nil {
+			return err
+		}
+	}
+	if want(10) {
+		t, err := harness.Figure10()
+		if err != nil {
+			return err
+		}
+		if err := emitSpeedup(t); err != nil {
+			return err
+		}
+	}
+	if want(11) {
+		t, err := harness.Figure11()
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	if want(12) {
+		t, err := harness.Figure12()
+		if err != nil {
+			return err
+		}
+		if err := emitSpeedup(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command minicc compiles a mini-C source file (see internal/cc) to the
+// repository's assembly, and can run it or push it through the full
+// spawn-analysis + simulation pipeline.
+//
+// Usage:
+//
+//	minicc prog.c                 # print generated assembly
+//	minicc -run prog.c            # compile, execute, print main's result
+//	minicc -simulate prog.c       # compile, analyze, compare machines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program and print main's return value")
+	simulate := flag.Bool("simulate", false, "simulate superscalar vs PolyFlow")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-run|-simulate] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	if err := drive(string(src), *run, *simulate); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}
+
+func drive(src string, run, simulate bool) error {
+	asmText, err := cc.Compile(src)
+	if err != nil {
+		return err
+	}
+	if !run && !simulate {
+		fmt.Print(asmText)
+		return nil
+	}
+	prog, err := cc.CompileAndAssemble(src)
+	if err != nil {
+		return err
+	}
+	if run {
+		m := emu.New(prog, 0)
+		for !m.Halted && m.Count < 50_000_000 {
+			if err := m.Step(nil); err != nil {
+				return err
+			}
+		}
+		if !m.Halted {
+			return fmt.Errorf("instruction limit reached without halt")
+		}
+		fmt.Printf("main returned %d (%d instructions executed)\n",
+			m.Regs[isa.V0], m.Count)
+		return nil
+	}
+	bench, err := speculate.Prepare("minicc", prog, 50_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d static instrs, %d dynamic instrs, %d spawn points\n",
+		len(prog.Code), bench.Trace.Len(), len(bench.Analysis.Spawns))
+	base, err := bench.RunSuperscalar()
+	if err != nil {
+		return err
+	}
+	res, err := bench.RunPolicy(core.PolicyPostdoms, machine.PolyFlowConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("superscalar IPC %.2f; polyflow/postdoms IPC %.2f (%+.1f%%)\n",
+		base.IPC, res.IPC, speculate.SpeedupPct(base, res))
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command polyflow runs one workload on one machine configuration and
+// prints IPC and machine statistics.
+//
+// Usage:
+//
+//	polyflow -bench twolf -policy postdoms
+//	polyflow -bench mcf -policy superscalar
+//	polyflow -bench gcc -policy rec_pred
+//	polyflow -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	benchName := flag.String("bench", "twolf", "workload name")
+	policyName := flag.String("policy", "postdoms", "spawn policy: superscalar, rec_pred, or one of the static policies")
+	tasks := flag.Int("tasks", 8, "maximum concurrent tasks")
+	verbose := flag.Bool("v", false, "print spawn-point statistics")
+	list := flag.Bool("list", false, "list workloads and policies")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", speculate.WorkloadNames())
+		fmt.Print("policies: superscalar rec_pred")
+		for _, p := range allPolicies() {
+			fmt.Printf(" %q", p.Name)
+		}
+		fmt.Println()
+		return
+	}
+
+	if err := run(*benchName, *policyName, *tasks, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "polyflow:", err)
+		os.Exit(1)
+	}
+}
+
+func allPolicies() []core.Policy {
+	ps := core.IndividualPolicies()
+	ps = append(ps, core.CombinationPolicies()...)
+	ps = append(ps, core.ExclusionPolicies()...)
+	return ps
+}
+
+func run(benchName, policyName string, tasks int, verbose bool) error {
+	b, err := speculate.Load(benchName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d static instrs, %d dynamic instrs, %d spawn points\n",
+		b.Name, len(b.Prog.Code), b.Trace.Len(), len(b.Analysis.Spawns))
+	if verbose {
+		counts := b.Analysis.CountByKind()
+		for k := core.Kind(0); k < core.NumKinds; k++ {
+			fmt.Printf("  %-8s %d static spawn points\n", k, counts[k])
+		}
+	}
+
+	base, err := b.RunSuperscalar()
+	if err != nil {
+		return err
+	}
+	fmt.Println(" ", base)
+	if policyName == "superscalar" {
+		return nil
+	}
+
+	cfg := machine.PolyFlowConfig()
+	cfg.MaxTasks = tasks
+	var res machine.Result
+	if policyName == "rec_pred" {
+		res, err = b.RunRecPred(cfg)
+	} else {
+		var pol core.Policy
+		found := false
+		for _, p := range allPolicies() {
+			if p.Name == policyName {
+				pol, found = p, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown policy %q", policyName)
+		}
+		res, err = b.RunPolicy(pol, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(" ", res)
+	fmt.Printf("  speedup over superscalar: %+.1f%%\n", speculate.SpeedupPct(base, res))
+	if verbose {
+		fmt.Printf("  spawns by kind:")
+		for k := core.Kind(0); k < core.NumKinds; k++ {
+			fmt.Printf(" %s=%d", k, res.SpawnsByKind[k])
+		}
+		fmt.Printf("\n  diverted=%d violations=%d squashed=%d peakTasks=%d avgTasks=%.2f rejected=%d\n",
+			res.Diverted, res.Violations, res.SquashedInstrs, res.PeakTasks,
+			float64(res.TaskCycles)/float64(res.Cycles), res.SpawnsRejected)
+		fmt.Printf("  foreclosures=%d\n", res.Foreclosures)
+		fmt.Printf("  mispredicts=%d icacheMiss=%d dcacheMiss=%d l2Miss=%d icacheStall=%d\n",
+			res.Mispredicts, res.ICacheMisses, res.DCacheMisses, res.L2Misses, res.ICacheStallCycle)
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBasicAssembly(t *testing.T) {
+	p, err := Assemble(`
+        .func main
+main:
+        li   $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("code length = %d, want 4", len(p.Code))
+	}
+	if p.Entry != p.CodeBase {
+		t.Fatalf("entry = %x, want %x", p.Entry, p.CodeBase)
+	}
+	if p.Code[0].Op != isa.OpLI || p.Code[0].Imm != 3 {
+		t.Fatalf("li mis-assembled: %v", p.Code[0])
+	}
+	// bgtz target must resolve to the loop label (second instruction).
+	if got := uint64(p.Code[2].Imm); got != p.PCOf(1) {
+		t.Fatalf("branch target = %x, want %x", got, p.PCOf(1))
+	}
+	if len(p.Funcs) != 1 || p.Funcs[0] != p.CodeBase {
+		t.Fatalf("functions wrong: %v", p.Funcs)
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	p, err := Assemble("main: nop\n      halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["main"] != p.CodeBase {
+		t.Fatalf("inline label not resolved")
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	p, err := Assemble(`
+        j    end
+        nop
+end:    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p.Code[0].Imm) != p.PCOf(2) {
+		t.Fatalf("forward jump target wrong")
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+        halt
+        .data
+vals:   .word8 1, -2, buf
+buf:    .space 16
+bytes:  .byte 0xff, 1
+words:  .word4 65536
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["vals"] != p.DataBase {
+		t.Fatalf("vals at %x", p.Labels["vals"])
+	}
+	if p.Labels["buf"] != p.DataBase+24 {
+		t.Fatalf("buf at %x", p.Labels["buf"])
+	}
+	// Little-endian cell contents.
+	if p.Data[0] != 1 || p.Data[8] != 0xfe || p.Data[15] != 0xff {
+		t.Fatalf("word8 encoding wrong: % x", p.Data[:16])
+	}
+	// Label value stored in the third cell.
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		got |= uint64(p.Data[16+i]) << (8 * i)
+	}
+	if got != p.Labels["buf"] {
+		t.Fatalf("label cell = %x, want %x", got, p.Labels["buf"])
+	}
+	if p.Labels["bytes"] != p.DataBase+40 {
+		t.Fatalf("bytes at %x", p.Labels["bytes"])
+	}
+	if p.Data[40] != 0xff || p.Data[41] != 1 {
+		t.Fatalf("byte encoding wrong")
+	}
+	if p.Data[42] != 0 || p.Data[43] != 0 || p.Data[44] != 1 {
+		t.Fatalf("word4 encoding wrong: % x", p.Data[42:46])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+        move $t0, $t1
+        neg  $t2, $t3
+        not  $t4, $t5
+        b    out
+        call out
+        ret
+out:    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.OpOR, isa.OpSUB, isa.OpNOR, isa.OpJ, isa.OpJAL, isa.OpJR, isa.OpHALT}
+	for i, op := range want {
+		if p.Code[i].Op != op {
+			t.Errorf("instr %d op = %v, want %v", i, p.Code[i].Op, op)
+		}
+	}
+	if p.Code[5].Rs != isa.RA {
+		t.Errorf("ret must be jr $ra")
+	}
+}
+
+func TestSynthesizedBranches(t *testing.T) {
+	p, err := Assemble(`
+        blt  $t0, $t1, x
+        bge  $t0, $t1, x
+        ble  $t0, $t1, x
+        bgt  $t0, $t1, x
+x:      halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 9 { // four 2-instruction expansions + halt
+		t.Fatalf("code length = %d, want 9", len(p.Code))
+	}
+	// blt -> slt $at, t0, t1 ; bne $at, $zero
+	if p.Code[0].Op != isa.OpSLT || p.Code[0].Rd != isa.AT || p.Code[1].Op != isa.OpBNE {
+		t.Fatalf("blt expansion wrong: %v %v", p.Code[0], p.Code[1])
+	}
+	// bge -> slt ; beq
+	if p.Code[3].Op != isa.OpBEQ {
+		t.Fatalf("bge expansion wrong: %v", p.Code[3])
+	}
+	// ble -> slt(t1,t0) ; beq
+	if p.Code[4].Rs != isa.T1 || p.Code[4].Rt != isa.T0 || p.Code[5].Op != isa.OpBEQ {
+		t.Fatalf("ble expansion wrong: %v %v", p.Code[4], p.Code[5])
+	}
+	// The label x must account for expansions (index 8).
+	if uint64(p.Code[1].Imm) != p.PCOf(8) {
+		t.Fatalf("expanded branch target wrong")
+	}
+}
+
+func TestJumpTableAnnotation(t *testing.T) {
+	p, err := Assemble(`
+main:   jr $t0
+        .targets a, b
+a:      halt
+b:      halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := p.JumpTargets[p.CodeBase]
+	if len(ts) != 2 || ts[0] != p.Labels["a"] || ts[1] != p.Labels["b"] {
+		t.Fatalf("jump targets wrong: %v", ts)
+	}
+}
+
+func TestNegativeMemOffsets(t *testing.T) {
+	p, err := Assemble("ld $t0, -8($sp)\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != -8 {
+		t.Fatalf("negative offset wrong: %d", p.Code[0].Imm)
+	}
+}
+
+func TestFuncLabelCoexistence(t *testing.T) {
+	// ".func f" followed by "f:" is the common style and must not be a
+	// duplicate-label error.
+	p, err := Assemble(".func f\nf:      halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["f"] != p.CodeBase {
+		t.Fatalf("label f wrong")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"bogus $t0":                "unknown mnemonic",
+		"add $t0, $t1":             "wants 3 operands",
+		"li $t0, undefinedlabel":   "undefined symbol",
+		"ld $t0, 8[$sp]":           "expected mem operand",
+		"add $t0, $t1, $nope":      "unknown register",
+		"x: nop\nx: nop":           "duplicate label",
+		".space -1":                "bad .space",
+		".targets x\nx: halt":      ".targets without preceding",
+		".data\nadd $t0, $t0, $t0": "instruction in .data",
+		".weird 1":                 "unknown directive",
+	}
+	for src, wantSub := range cases {
+		_, err := Assemble(src)
+		if err == nil {
+			t.Errorf("source %q assembled without error", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("source %q: error %q does not mention %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestErrorReportsLine(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 3 {
+		t.Fatalf("error = %v, want line 3", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble(`
+# leading comment
+        nop   # trailing comment
+
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Fatalf("code length = %d, want 2", len(p.Code))
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Every disassembled instruction of a representative program must
+	// re-assemble to the same opcode (targets are absolute, so a full
+	// textual round trip needs no labels).
+	src := `
+        .func main
+main:   li   $t0, 10
+        add  $t1, $t0, $t0
+        sd   $t1, 0($sp)
+        ld   $t2, 0($sp)
+        beq  $t1, $t2, done
+        nop
+done:   halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "main:") || !strings.Contains(dis, "beq $t1, $t2") {
+		t.Fatalf("disassembly missing content:\n%s", dis)
+	}
+}

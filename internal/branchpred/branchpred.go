@@ -1,0 +1,140 @@
+// Package branchpred implements the front-end predictors of the simulated
+// machines: a gshare direction predictor (the paper's 16 Kbit gshare with 8
+// bits of global history), a last-target BTB for indirect jumps, and a
+// return-address stack. Since the timing models fetch along the correct
+// path (stall-on-mispredict), these predictors determine penalties, not
+// paths.
+package branchpred
+
+// Gshare is a global-history XOR-indexed table of 2-bit saturating
+// counters. The history register itself is owned by the caller (each
+// PolyFlow task carries its own speculative history); the counter table is
+// shared, as in an SMT front end.
+type Gshare struct {
+	table    []uint8
+	idxMask  uint32
+	histMask uint32
+}
+
+// NewGshare builds a predictor with 2^log2Entries counters and histBits of
+// global history. The paper's configuration is NewGshare(13, 8):
+// 8192 × 2-bit = 16 Kbit.
+func NewGshare(log2Entries, histBits int) *Gshare {
+	n := 1 << log2Entries
+	g := &Gshare{
+		table:    make([]uint8, n),
+		idxMask:  uint32(n - 1),
+		histMask: uint32(1<<histBits) - 1,
+	}
+	for i := range g.table {
+		g.table[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64, hist uint32) uint32 {
+	return (uint32(pc>>2) ^ (hist << 5)) & g.idxMask
+}
+
+// Predict returns the predicted direction for pc under history hist.
+func (g *Gshare) Predict(pc uint64, hist uint32) bool {
+	return g.table[g.index(pc, hist)] >= 2
+}
+
+// Update trains the counter for pc under history hist with the resolved
+// direction.
+func (g *Gshare) Update(pc uint64, hist uint32, taken bool) {
+	i := g.index(pc, hist)
+	c := g.table[i]
+	if taken {
+		if c < 3 {
+			g.table[i] = c + 1
+		}
+	} else if c > 0 {
+		g.table[i] = c - 1
+	}
+}
+
+// PushHistory returns hist shifted by one resolved direction.
+func (g *Gshare) PushHistory(hist uint32, taken bool) uint32 {
+	hist <<= 1
+	if taken {
+		hist |= 1
+	}
+	return hist & g.histMask
+}
+
+// BTB is a direct-mapped last-target buffer used to predict indirect jump
+// targets.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+}
+
+// NewBTB builds a BTB with 2^log2Entries entries.
+func NewBTB(log2Entries int) *BTB {
+	n := 1 << log2Entries
+	return &BTB{
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Predict returns the predicted target for the jump at pc; ok is false on a
+// BTB miss.
+func (b *BTB) Predict(pc uint64) (uint64, bool) {
+	i := (pc >> 2) & b.mask
+	if b.tags[i] != pc {
+		return 0, false
+	}
+	return b.targets[i], true
+}
+
+// Update records the resolved target of the jump at pc.
+func (b *BTB) Update(pc, target uint64) {
+	i := (pc >> 2) & b.mask
+	b.tags[i] = pc
+	b.targets[i] = target
+}
+
+// RAS is a fixed-depth return address stack with wrap-around overwrite.
+type RAS struct {
+	stack []uint64
+	top   int
+	n     int
+}
+
+// NewRAS builds a stack with the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint64, depth)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.n < len(r.stack) {
+		r.n++
+	}
+}
+
+// Pop predicts the target of a return; ok is false when the stack is empty.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	v := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.n--
+	return v, true
+}
+
+// Clone copies the stack, for spawning a task that inherits its parent's
+// call context.
+func (r *RAS) Clone() *RAS {
+	c := &RAS{stack: make([]uint64, len(r.stack)), top: r.top, n: r.n}
+	copy(c.stack, r.stack)
+	return c
+}

@@ -1,0 +1,162 @@
+package branchpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(13, 8)
+	var hist uint32
+	pc := uint64(0x1000)
+	// Train an always-taken branch.
+	for i := 0; i < 10; i++ {
+		g.Update(pc, hist, true)
+		hist = g.PushHistory(hist, true)
+	}
+	if !g.Predict(pc, hist) {
+		t.Fatalf("always-taken branch predicted not-taken")
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// Alternating T/NT is perfectly predictable with global history.
+	g := NewGshare(13, 8)
+	var hist uint32
+	pc := uint64(0x2000)
+	taken := false
+	// Warm up.
+	for i := 0; i < 64; i++ {
+		g.Update(pc, hist, taken)
+		hist = g.PushHistory(hist, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 64; i++ {
+		if g.Predict(pc, hist) == taken {
+			correct++
+		}
+		g.Update(pc, hist, taken)
+		hist = g.PushHistory(hist, taken)
+		taken = !taken
+	}
+	if correct < 60 {
+		t.Fatalf("alternating pattern accuracy %d/64", correct)
+	}
+}
+
+func TestGshareCounterSaturation(t *testing.T) {
+	g := NewGshare(4, 2)
+	for i := 0; i < 100; i++ {
+		g.Update(0x10, 0, true)
+	}
+	// One contrary outcome must not flip a saturated counter.
+	g.Update(0x10, 0, false)
+	if !g.Predict(0x10, 0) {
+		t.Fatalf("saturated counter flipped after one contrary outcome")
+	}
+}
+
+func TestPushHistoryMask(t *testing.T) {
+	g := NewGshare(13, 4)
+	h := uint32(0)
+	for i := 0; i < 32; i++ {
+		h = g.PushHistory(h, true)
+	}
+	if h != 0xf {
+		t.Fatalf("history = %x, want masked to 4 bits", h)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(6)
+	if _, ok := b.Predict(0x100); ok {
+		t.Fatalf("cold BTB hit")
+	}
+	b.Update(0x100, 0x500)
+	if tgt, ok := b.Predict(0x100); !ok || tgt != 0x500 {
+		t.Fatalf("BTB mispredicts after update")
+	}
+	b.Update(0x100, 0x600) // last-target semantics
+	if tgt, _ := b.Predict(0x100); tgt != 0x600 {
+		t.Fatalf("BTB not last-target")
+	}
+	// Aliasing entry evicts (direct mapped).
+	alias := uint64(0x100 + (1 << 6 << 2))
+	b.Update(alias, 0x700)
+	if _, ok := b.Predict(0x100); ok {
+		t.Fatalf("direct-mapped conflict not evicted")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	if _, ok := r.Pop(); ok {
+		t.Fatalf("empty RAS popped")
+	}
+	r.Push(0x10)
+	r.Push(0x20)
+	if v, ok := r.Pop(); !ok || v != 0x20 {
+		t.Fatalf("pop = %x, want 0x20", v)
+	}
+	if v, ok := r.Pop(); !ok || v != 0x10 {
+		t.Fatalf("pop = %x, want 0x10", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatalf("over-pop succeeded")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites the oldest
+	if v, _ := r.Pop(); v != 3 {
+		t.Fatalf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Fatalf("pop = %d, want 2", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatalf("depth-2 stack held three entries")
+	}
+}
+
+func TestRASClone(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x10)
+	c := r.Clone()
+	c.Push(0x20)
+	if v, _ := r.Pop(); v != 0x10 {
+		t.Fatalf("clone mutated the original")
+	}
+	if v, _ := c.Pop(); v != 0x20 {
+		t.Fatalf("clone lost its own push")
+	}
+}
+
+// TestQuickRAS: for any sequence of pushes within capacity, pops return
+// them in reverse order.
+func TestQuickRAS(t *testing.T) {
+	prop := func(vals []uint64) bool {
+		if len(vals) > 16 {
+			vals = vals[:16]
+		}
+		r := NewRAS(16)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			got, ok := r.Pop()
+			if !ok || got != vals[i] {
+				return false
+			}
+		}
+		_, ok := r.Pop()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets * 2 ways * 16B lines = 128 bytes.
+	return New(Config{SizeBytes: 128, Assoc: 2, LineBytes: 16, MissLatency: 10}, nil)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if lat := c.Access(0x100); lat != 10 {
+		t.Fatalf("cold access latency = %d, want 10", lat)
+	}
+	if lat := c.Access(0x100); lat != 0 {
+		t.Fatalf("second access latency = %d, want 0", lat)
+	}
+	if lat := c.Access(0x10f); lat != 0 {
+		t.Fatalf("same-line access missed")
+	}
+	if lat := c.Access(0x110); lat != 10 {
+		t.Fatalf("next line must miss")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Fatalf("stats = %d/%d, want 4/2", c.Misses, c.Accesses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small()
+	// Three lines mapping to the same set (stride = numSets*lineBytes = 64).
+	a, b, d := uint64(0x000), uint64(0x040), uint64(0x080)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU, b is LRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Fatalf("MRU line evicted")
+	}
+	if c.Probe(b) {
+		t.Fatalf("LRU line survived")
+	}
+	if !c.Probe(d) {
+		t.Fatalf("filled line absent")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := small()
+	c.Access(0x000)
+	c.Access(0x040)
+	// Probing the LRU line must not refresh it.
+	c.Probe(0x000)
+	misses := c.Misses
+	c.Probe(0x0c0)
+	if c.Misses != misses || c.Probe(0x0c0) {
+		t.Fatalf("probe mutated the cache")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := DefaultHierarchy()
+	// Cold: L1 miss + L2 miss.
+	if lat := h.L1D.Access(0x4000); lat != 110 {
+		t.Fatalf("cold L1D access = %d, want 110", lat)
+	}
+	// Same line: L1 hit.
+	if lat := h.L1D.Access(0x4008); lat != 0 {
+		t.Fatalf("warm L1D access = %d, want 0", lat)
+	}
+	// Evict from L1D by filling its set, keeping L2 resident -> 10.
+	way := uint64(16 << 10 / 4) // L1D way size: sets*lineBytes
+	for i := uint64(1); i <= 4; i++ {
+		h.L1D.Access(0x4000 + i*way)
+	}
+	if lat := h.L1D.Access(0x4000); lat != 10 {
+		t.Fatalf("L2-resident access = %d, want 10", lat)
+	}
+}
+
+func TestSharedL2(t *testing.T) {
+	h := DefaultHierarchy()
+	h.L1I.Access(0x8000) // fills the L2 line via the I-side
+	if lat := h.L1D.Access(0x8000); lat != 10 {
+		t.Fatalf("D-side access after I-side fill = %d, want L2 hit (10)", lat)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	c := small()
+	if c.LineOf(0x123) != 0x120 {
+		t.Fatalf("LineOf(0x123) = %x", c.LineOf(0x123))
+	}
+	if c.LineBytes() != 16 {
+		t.Fatalf("LineBytes = %d", c.LineBytes())
+	}
+}
+
+// TestQuickContainment: after any access sequence, the most recently
+// accessed address always probes as resident (its line cannot have been
+// evicted by later accesses because there are none).
+func TestQuickContainment(t *testing.T) {
+	prop := func(addrs []uint16) bool {
+		c := small()
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		if len(addrs) == 0 {
+			return true
+		}
+		return c.Probe(uint64(addrs[len(addrs)-1]))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWorkingSetFits: any working set no larger than one set's
+// associativity (same set) hits steadily after the first pass.
+func TestQuickWorkingSetFits(t *testing.T) {
+	prop := func(seed uint8) bool {
+		c := small()
+		base := uint64(seed) * 0x40
+		lines := []uint64{base, base + 0x40} // two lines, same set, assoc 2
+		for _, a := range lines {
+			c.Access(a)
+		}
+		for pass := 0; pass < 3; pass++ {
+			for _, a := range lines {
+				if c.Access(a) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateSingleSet(t *testing.T) {
+	// A cache smaller than assoc*line still works as one set.
+	c := New(Config{SizeBytes: 16, Assoc: 4, LineBytes: 16, MissLatency: 5}, nil)
+	c.Access(0x00)
+	c.Access(0x10)
+	if !c.Probe(0x00) || !c.Probe(0x10) {
+		t.Fatalf("single-set cache lost lines")
+	}
+}

@@ -1,0 +1,146 @@
+package cc
+
+// AST node definitions. Expressions and statements are small closed sets;
+// the codegen switches on the concrete types.
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	size int // cells; 1 for scalars
+	line int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct {
+	stmts []stmt
+}
+
+type varDecl struct {
+	name string
+	init expr // optional
+	line int
+}
+
+type assignStmt struct {
+	name  string
+	index expr // nil for scalars
+	value expr
+	line  int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els stmt // els may be nil
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body stmt
+	line int
+}
+
+type forStmt struct {
+	init, post stmt // may be nil
+	cond       expr // may be nil (infinite)
+	body       stmt
+	line       int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+func (*blockStmt) stmtNode()    {}
+func (*varDecl) stmtNode()      {}
+func (*assignStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*returnStmt) stmtNode()   {}
+func (*exprStmt) stmtNode()     {}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numberExpr struct {
+	v    int64
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "!", "~"
+	x    expr
+	line int
+}
+
+type binaryExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+func (*numberExpr) exprNode() {}
+func (*identExpr) exprNode()  {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}
+
+// Binary operator precedence (higher binds tighter). "||" and "&&" are
+// handled with short-circuit control flow in codegen.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}

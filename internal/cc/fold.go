@@ -1,0 +1,257 @@
+package cc
+
+// Constant folding and branch simplification. The pass runs on the AST
+// before code generation: constant subexpressions collapse to literals,
+// algebraic identities simplify, statically-decided ifs drop the dead arm,
+// and while(0) loops disappear. Besides shrinking code, this mirrors what
+// a real compiler hands the postdominator analysis: the branches that
+// remain are the genuinely dynamic ones.
+
+// foldProgram folds every function body in place.
+func foldProgram(p *program) {
+	for _, f := range p.funcs {
+		f.body = foldStmt(f.body).(*blockStmt)
+	}
+}
+
+func foldStmt(s stmt) stmt {
+	switch n := s.(type) {
+	case *blockStmt:
+		out := &blockStmt{}
+		for _, c := range n.stmts {
+			fc := foldStmt(c)
+			if fc != nil {
+				out.stmts = append(out.stmts, fc)
+			}
+		}
+		return out
+	case *varDecl:
+		if n.init != nil {
+			n.init = foldExpr(n.init)
+		}
+		return n
+	case *assignStmt:
+		if n.index != nil {
+			n.index = foldExpr(n.index)
+		}
+		n.value = foldExpr(n.value)
+		return n
+	case *ifStmt:
+		n.cond = foldExpr(n.cond)
+		n.then = foldStmt(n.then)
+		if n.els != nil {
+			n.els = foldStmt(n.els)
+		}
+		if c, ok := n.cond.(*numberExpr); ok {
+			// Statically decided: keep only the live arm. (Dead arms
+			// cannot declare locals that survive — locals are hoisted
+			// per function before codegen, so dropping the arm is safe.)
+			if c.v != 0 {
+				return n.then
+			}
+			if n.els != nil {
+				return n.els
+			}
+			return &blockStmt{}
+		}
+		return n
+	case *whileStmt:
+		n.cond = foldExpr(n.cond)
+		n.body = foldStmt(n.body)
+		if c, ok := n.cond.(*numberExpr); ok && c.v == 0 {
+			return &blockStmt{}
+		}
+		return n
+	case *forStmt:
+		if n.init != nil {
+			n.init = foldStmt(n.init)
+		}
+		if n.cond != nil {
+			n.cond = foldExpr(n.cond)
+			if c, ok := n.cond.(*numberExpr); ok && c.v == 0 {
+				// Loop never entered; the init may still have effects.
+				if n.init != nil {
+					return n.init
+				}
+				return &blockStmt{}
+			}
+		}
+		if n.post != nil {
+			n.post = foldStmt(n.post)
+		}
+		n.body = foldStmt(n.body)
+		return n
+	case *returnStmt:
+		if n.value != nil {
+			n.value = foldExpr(n.value)
+		}
+		return n
+	case *exprStmt:
+		n.e = foldExpr(n.e)
+		// A side-effect-free expression statement is dead.
+		if pure(n.e) {
+			return nil
+		}
+		return n
+	default:
+		return s
+	}
+}
+
+// pure reports whether evaluating e has no side effects (no calls; loads
+// are considered pure).
+func pure(e expr) bool {
+	switch n := e.(type) {
+	case *numberExpr, *identExpr:
+		return true
+	case *indexExpr:
+		return pure(n.index)
+	case *unaryExpr:
+		return pure(n.x)
+	case *binaryExpr:
+		return pure(n.x) && pure(n.y)
+	default:
+		return false
+	}
+}
+
+func foldExpr(e expr) expr {
+	switch n := e.(type) {
+	case *unaryExpr:
+		n.x = foldExpr(n.x)
+		if c, ok := n.x.(*numberExpr); ok {
+			switch n.op {
+			case "-":
+				return &numberExpr{v: -c.v, line: n.line}
+			case "~":
+				return &numberExpr{v: ^c.v, line: n.line}
+			case "!":
+				return &numberExpr{v: b2i(c.v == 0), line: n.line}
+			}
+		}
+		return n
+	case *indexExpr:
+		n.index = foldExpr(n.index)
+		return n
+	case *callExpr:
+		for i := range n.args {
+			n.args[i] = foldExpr(n.args[i])
+		}
+		return n
+	case *binaryExpr:
+		n.x = foldExpr(n.x)
+		n.y = foldExpr(n.y)
+		cx, xConst := n.x.(*numberExpr)
+		cy, yConst := n.y.(*numberExpr)
+		if xConst && yConst {
+			if v, ok := evalConst(n.op, cx.v, cy.v); ok {
+				return &numberExpr{v: v, line: n.line}
+			}
+		}
+		// Short-circuit with a constant left side.
+		if xConst && n.op == "&&" {
+			if cx.v == 0 {
+				return &numberExpr{v: 0, line: n.line}
+			}
+			return normalizeBool(n.y, n.line)
+		}
+		if xConst && n.op == "||" {
+			if cx.v != 0 {
+				return &numberExpr{v: 1, line: n.line}
+			}
+			return normalizeBool(n.y, n.line)
+		}
+		// Algebraic identities (right-side constants; evaluation order of
+		// the remaining operand is preserved).
+		if yConst {
+			switch {
+			case cy.v == 0 && (n.op == "+" || n.op == "-" || n.op == "|" || n.op == "^" || n.op == "<<" || n.op == ">>"):
+				return n.x
+			case cy.v == 1 && (n.op == "*" || n.op == "/"):
+				return n.x
+			case cy.v == 0 && n.op == "*" && pure(n.x):
+				return &numberExpr{v: 0, line: n.line}
+			case cy.v == 0 && n.op == "&" && pure(n.x):
+				return &numberExpr{v: 0, line: n.line}
+			}
+		}
+		if xConst {
+			switch {
+			case cx.v == 0 && n.op == "+":
+				return n.y
+			case cx.v == 1 && n.op == "*":
+				return n.y
+			case cx.v == 0 && (n.op == "*" || n.op == "&") && pure(n.y):
+				return &numberExpr{v: 0, line: n.line}
+			}
+		}
+		return n
+	default:
+		return e
+	}
+}
+
+// normalizeBool wraps e so its value is exactly 0 or 1, matching the
+// semantics of && and || results.
+func normalizeBool(e expr, line int) expr {
+	if c, ok := e.(*numberExpr); ok {
+		return &numberExpr{v: b2i(c.v != 0), line: line}
+	}
+	// !!e
+	return &unaryExpr{op: "!", x: &unaryExpr{op: "!", x: e, line: line}, line: line}
+}
+
+func evalConst(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, true // the ISA defines x/0 = 0
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, true
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint64(b) & 63), true
+	case ">>":
+		return a >> (uint64(b) & 63), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "&&":
+		return b2i(a != 0 && b != 0), true
+	case "||":
+		return b2i(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

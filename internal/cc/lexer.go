@@ -1,0 +1,175 @@
+// Package cc implements a small C-like language compiled to the
+// repository's MIPS-like assembly — the compiler substrate of the
+// reproduction. The paper's binaries come from a compiler; this one lets
+// the postdominator analysis and the PolyFlow machine run on structured,
+// compiler-generated control flow (if/else, while, for, break, continue,
+// short-circuit booleans, calls) rather than hand-written assembly.
+//
+// Language summary:
+//
+//	var g;                 // global scalar (64-bit int)
+//	var table[128];        // global array
+//	func f(a, b) {         // up to 4 parameters
+//	    var x;             // local scalar
+//	    x = a * 31 + b;
+//	    if (x > 100 && b != 0) { x = x % b; } else { x = -x; }
+//	    while (x < 0) { x = x + 7; }
+//	    for (a = 0; a < 10; a = a + 1) {
+//	        if (a == 3) { continue; }
+//	        if (table[a] == x) { break; }
+//	    }
+//	    return x;
+//	}
+//
+// All values are signed 64-bit integers. Programs must define main; a
+// halt is emitted when main returns.
+package cc
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true, "while": true,
+	"for": true, "break": true, "continue": true, "return": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a compilation failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// twoCharPunct lists the multi-character operators, longest-match-first.
+var twoCharPunct = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			base := int64(10)
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+				j = i
+			}
+			var v int64
+			for i < n && isDigit(src[i], base) {
+				v = v*base + digitVal(src[i])
+				i++
+			}
+			if i == j {
+				return nil, errf(line, "malformed number")
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, line: line})
+		case isIdentStart(c):
+			j := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			text := src[j:i]
+			k := tokIdent
+			if keywords[text] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: text, line: line})
+		default:
+			matched := false
+			if i+1 < n {
+				two := src[i : i+2]
+				for _, p := range twoCharPunct {
+					if two == p {
+						toks = append(toks, token{kind: tokPunct, text: p, line: line})
+						i += 2
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+				'=', '(', ')', '{', '}', '[', ']', ',', ';':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, errf(line, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isDigit(c byte, base int64) bool {
+	if base == 16 {
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	}
+	return c >= '0' && c <= '9'
+}
+
+func digitVal(c byte) int64 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int64(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int64(c-'a') + 10
+	default:
+		return int64(c-'A') + 10
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

@@ -1,0 +1,390 @@
+package cc
+
+// Recursive-descent parser with precedence climbing for expressions.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind != tokEOF && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return errf(p.cur().line, "expected %q, got %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, errf(t.line, "expected identifier, got %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func parse(src string) (*program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.accept("var"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case p.accept("func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, errf(p.cur().line, "expected 'var' or 'func' at top level, got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal() (*globalDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name.text, size: 1, line: name.line}
+	if p.accept("[") {
+		sz := p.cur()
+		if sz.kind != tokNumber || sz.num <= 0 {
+			return nil, errf(sz.line, "array size must be a positive number")
+		}
+		p.pos++
+		g.size = int(sz.num)
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	return g, p.expect(";")
+}
+
+func (p *parser) parseFunc() (*funcDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name.text, line: name.line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.accept(")") {
+		if len(f.params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, prm.text)
+		if len(f.params) > 4 {
+			return nil, errf(prm.line, "at most 4 parameters are supported")
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*blockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, errf(p.cur().line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "{":
+		return p.parseBlock()
+	case p.accept("var"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &varDecl{name: name.text, line: name.line}
+		if p.accept("=") {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		return d, p.expect(";")
+	case p.accept("if"):
+		return p.parseIf(t.line)
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+	case p.accept("for"):
+		return p.parseFor(t.line)
+	case p.accept("break"):
+		return &breakStmt{line: t.line}, p.expect(";")
+	case p.accept("continue"):
+		return &continueStmt{line: t.line}, p.expect(";")
+	case p.accept("return"):
+		r := &returnStmt{line: t.line}
+		if p.cur().text != ";" {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			r.value = e
+		}
+		return r, p.expect(";")
+	default:
+		s, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+// parseSimple parses an assignment or expression statement (no semicolon):
+// the form shared by statements and for-clauses.
+func (p *parser) parseSimple() (stmt, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		// Lookahead for "ident =" or "ident [ expr ] =".
+		save := p.pos
+		name, _ := p.expectIdent()
+		var index expr
+		if p.accept("[") {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			index = e
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept("=") {
+			v, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			return &assignStmt{name: name.text, index: index, value: v, line: t.line}, nil
+		}
+		p.pos = save // not an assignment: reparse as an expression
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	return &exprStmt{e: e, line: t.line}, nil
+}
+
+func (p *parser) parseIf(line int) (stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then, line: line}
+	if p.accept("else") {
+		if p.cur().text == "if" {
+			p.pos++
+			els, err := p.parseIf(p.cur().line)
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.els = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseFor(line int) (stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &forStmt{line: line}
+	if !p.accept(";") {
+		init, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		f.init = init
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(";") {
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		f.cond = cond
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().text != ")" {
+		post, err := p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+		f.post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+// parseExpr implements precedence climbing above minPrec.
+func (p *parser) parseExpr(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, isOp := precedence[op.text]
+		if op.kind != tokPunct || !isOp || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: op.text, x: lhs, y: rhs, line: op.line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		return &numberExpr{v: t.num, line: t.line}, nil
+	case t.kind == tokIdent:
+		switch {
+		case p.accept("("):
+			c := &callExpr{name: t.text, line: t.line}
+			for !p.accept(")") {
+				if len(c.args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				c.args = append(c.args, a)
+				if len(c.args) > 4 {
+					return nil, errf(t.line, "at most 4 arguments are supported")
+				}
+			}
+			return c, nil
+		case p.accept("["):
+			idx, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: t.text, index: idx, line: t.line}, nil
+		default:
+			return &identExpr{name: t.text, line: t.line}, nil
+		}
+	case t.text == "(":
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	default:
+		return nil, errf(t.line, "unexpected %s in expression", t)
+	}
+}

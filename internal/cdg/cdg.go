@@ -1,0 +1,76 @@
+// Package cdg builds the control dependence graph from a postdominator
+// tree using the Ferrante–Ottenstein–Warren construction: block X is
+// control dependent on branch block A (via edge A→B) when X postdominates B
+// but does not strictly postdominate A. This is the graph whose unfolding
+// the paper's control-equivalent spawning exploits.
+package cdg
+
+import "repro/internal/dom"
+
+// Graph is a control dependence graph over the same node IDs as the CFG it
+// was built from.
+type Graph struct {
+	// Controls[a] lists the blocks control dependent on a, deduplicated,
+	// in discovery order.
+	Controls [][]int
+	// DependsOn[x] lists the blocks x is control dependent on.
+	DependsOn [][]int
+}
+
+// Build constructs the CDG for the CFG given by succs, using its
+// postdominator tree pdom (computed on the reversed graph rooted at the
+// virtual exit).
+func Build(succs [][]int, pdom *dom.Tree) *Graph {
+	n := len(succs)
+	g := &Graph{
+		Controls:  make([][]int, n),
+		DependsOn: make([][]int, n),
+	}
+	seen := make(map[[2]int]bool)
+	add := func(a, x int) {
+		k := [2]int{a, x}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		g.Controls[a] = append(g.Controls[a], x)
+		g.DependsOn[x] = append(g.DependsOn[x], a)
+	}
+	for a := 0; a < n; a++ {
+		if !pdom.Reachable(a) {
+			continue
+		}
+		stop := pdom.IDom[a]
+		for _, b := range succs[a] {
+			if !pdom.Reachable(b) {
+				continue
+			}
+			// Walk from b up the postdominator tree to ipdom(a),
+			// exclusive; every visited node is control dependent on a.
+			for x := b; x != stop && x != -1; x = pdom.IDom[x] {
+				add(a, x)
+			}
+		}
+	}
+	return g
+}
+
+// ControlEquivalent reports whether blocks x and y have identical control
+// dependence sets — the relation under which the paper calls a spawn point
+// "control equivalent" to the path reaching its branch.
+func (g *Graph) ControlEquivalent(x, y int) bool {
+	a, b := g.DependsOn[x], g.DependsOn[y]
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[int]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package cdg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+)
+
+// paperFigure1 is the paper's example flow graph (loop with if-then-else):
+// A=0 B=1 C=2 D=3 E=4 F=5 exit=6.
+func paperFigure1() [][]int {
+	return [][]int{{1}, {2, 3}, {4}, {4}, {5}, {0, 6}, {}}
+}
+
+func buildPaperCDG() *Graph {
+	succs := paperFigure1()
+	pdom := dom.Compute(dom.Reverse(succs), 6)
+	return Build(succs, pdom)
+}
+
+// TestPaperFigure3 checks the control dependences of the paper's Figure 3:
+// "blocks A, B, E and F are all control dependent on the loop branch in
+// block F, while block E is not control dependent on either B, C or D".
+func TestPaperFigure3(t *testing.T) {
+	g := buildPaperCDG()
+	wantF := map[int]bool{0: true, 1: true, 4: true, 5: true}
+	gotF := map[int]bool{}
+	for _, x := range g.Controls[5] {
+		gotF[x] = true
+	}
+	for x := range wantF {
+		if !gotF[x] {
+			t.Errorf("block %d must be control dependent on F", x)
+		}
+	}
+	for _, b := range []int{1, 2, 3} {
+		for _, x := range g.Controls[b] {
+			if x == 4 {
+				t.Errorf("E must not be control dependent on block %d", b)
+			}
+		}
+	}
+	// C and D are control dependent on B.
+	gotB := map[int]bool{}
+	for _, x := range g.Controls[1] {
+		gotB[x] = true
+	}
+	if !gotB[2] || !gotB[3] {
+		t.Errorf("C and D must be control dependent on B, got %v", g.Controls[1])
+	}
+}
+
+// TestControlEquivalence checks the property motivating control-equivalent
+// spawning: "Blocks A, B, E and F are control equivalent".
+func TestControlEquivalence(t *testing.T) {
+	g := buildPaperCDG()
+	ce := [][2]int{{0, 1}, {0, 4}, {0, 5}, {1, 4}, {4, 5}}
+	for _, p := range ce {
+		if !g.ControlEquivalent(p[0], p[1]) {
+			t.Errorf("blocks %d and %d must be control equivalent (deps %v vs %v)",
+				p[0], p[1], g.DependsOn[p[0]], g.DependsOn[p[1]])
+		}
+	}
+	if g.ControlEquivalent(2, 4) {
+		t.Errorf("C and E must not be control equivalent")
+	}
+}
+
+func TestStraightLineHasNoDependences(t *testing.T) {
+	succs := [][]int{{1}, {2}, {}}
+	pdom := dom.Compute(dom.Reverse(succs), 2)
+	g := Build(succs, pdom)
+	for v, deps := range g.DependsOn {
+		if len(deps) != 0 {
+			t.Fatalf("straight-line block %d has control deps %v", v, deps)
+		}
+	}
+}
+
+func TestDiamondDependences(t *testing.T) {
+	succs := [][]int{{1, 2}, {3}, {3}, {}}
+	pdom := dom.Compute(dom.Reverse(succs), 3)
+	g := Build(succs, pdom)
+	if len(g.Controls[0]) != 2 {
+		t.Fatalf("branch controls %v, want the two arms", g.Controls[0])
+	}
+	if len(g.DependsOn[3]) != 0 {
+		t.Fatalf("join must not be control dependent on the branch")
+	}
+}
+
+// TestQuickFOWDefinition validates the construction against the
+// Ferrante-Ottenstein-Warren definition on random graphs: X is control
+// dependent on A iff A has a successor B with X postdominating B, and X
+// does not strictly postdominate A.
+func TestQuickFOWDefinition(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + int(size)%10
+		succs := make([][]int, n+1) // node n is the virtual exit
+		for v := 0; v < n; v++ {
+			deg := 1 + r.Intn(2)
+			for k := 0; k < deg; k++ {
+				succs[v] = append(succs[v], r.Intn(n+1))
+			}
+		}
+		pdom := dom.Compute(dom.Reverse(succs), n)
+		g := Build(succs, pdom)
+		for a := 0; a <= n; a++ {
+			if !pdom.Reachable(a) {
+				continue
+			}
+			dep := map[int]bool{}
+			for _, b := range succs[a] {
+				if !pdom.Reachable(b) {
+					continue
+				}
+				for x := 0; x <= n; x++ {
+					if pdom.Reachable(x) && pdom.Dominates(x, b) && !(x != a && pdom.Dominates(x, a)) {
+						dep[x] = true
+					}
+				}
+			}
+			got := map[int]bool{}
+			for _, x := range g.Controls[a] {
+				got[x] = true
+			}
+			for x := range dep {
+				if !got[x] {
+					return false
+				}
+			}
+			for x := range got {
+				if !dep[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

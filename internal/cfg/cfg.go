@@ -1,0 +1,305 @@
+// Package cfg builds intraprocedural control flow graphs from a program
+// image. Each function gets its own graph with a virtual exit node; calls
+// are treated as straight-line flow to their return address (the
+// intraprocedural view under which the immediate postdominator of a call
+// block is the procedure fall-through), and indirect jumps get their
+// successors from the program's jump-table annotations augmented with
+// profile-observed targets — mirroring the paper's profile-driven
+// postdominator analysis.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Block is one basic block. PCs in [Start, End) belong to the block; the
+// instruction at End-4 is the terminator.
+type Block struct {
+	ID    int
+	Start uint64
+	End   uint64
+	Succs []int
+	Preds []int
+	// Virtual marks the synthetic exit node (Start/End are meaningless).
+	Virtual bool
+}
+
+// LastPC returns the PC of the block's terminating instruction.
+func (b *Block) LastPC() uint64 { return b.End - isa.InstSize }
+
+// Graph is the CFG of one function plus a virtual exit node (always the
+// last element of Blocks). Entry is always block 0.
+type Graph struct {
+	Prog      *isa.Program
+	FuncEntry uint64
+	FuncEnd   uint64
+	Blocks    []*Block
+	byStart   []uint64 // sorted block start PCs (excluding exit), parallel to startID
+	startID   []int
+}
+
+// Entry returns the entry block's ID (always 0).
+func (g *Graph) Entry() int { return 0 }
+
+// Exit returns the virtual exit block's ID.
+func (g *Graph) Exit() int { return len(g.Blocks) - 1 }
+
+// NumBlocks returns the node count, including the virtual exit.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }
+
+// BlockOf returns the ID of the block containing pc, or -1 when pc is
+// outside the function.
+func (g *Graph) BlockOf(pc uint64) int {
+	if pc < g.FuncEntry || pc >= g.FuncEnd {
+		return -1
+	}
+	i := sort.Search(len(g.byStart), func(i int) bool { return g.byStart[i] > pc })
+	if i == 0 {
+		return -1
+	}
+	b := g.Blocks[g.startID[i-1]]
+	if pc >= b.Start && pc < b.End {
+		return b.ID
+	}
+	return -1
+}
+
+// BlockAt returns the ID of the block that starts exactly at pc, or -1.
+func (g *Graph) BlockAt(pc uint64) int {
+	id := g.BlockOf(pc)
+	if id >= 0 && g.Blocks[id].Start == pc {
+		return id
+	}
+	return -1
+}
+
+// Terminator returns the block's terminating instruction. The virtual exit
+// has none (ok=false), and neither does an empty function.
+func (g *Graph) Terminator(id int) (isa.Inst, bool) {
+	b := g.Blocks[id]
+	if b.Virtual {
+		return isa.Inst{}, false
+	}
+	return g.Prog.InstAt(b.LastPC())
+}
+
+// Succs returns the adjacency lists of the graph, indexable by block ID.
+func (g *Graph) SuccLists() [][]int {
+	out := make([][]int, len(g.Blocks))
+	for i, b := range g.Blocks {
+		out[i] = b.Succs
+	}
+	return out
+}
+
+// PredLists returns the reverse adjacency lists.
+func (g *Graph) PredLists() [][]int {
+	out := make([][]int, len(g.Blocks))
+	for i, b := range g.Blocks {
+		out[i] = b.Preds
+	}
+	return out
+}
+
+// Build constructs the CFG of the function entered at funcEntry.
+// extraTargets supplies additional successors for indirect jumps (typically
+// from trace.IndirectTargets); it may be nil.
+func Build(p *isa.Program, funcEntry uint64, extraTargets map[uint64][]uint64) (*Graph, error) {
+	funcEnd := p.FuncEnd(funcEntry)
+	first := p.IndexOf(funcEntry)
+	if first < 0 {
+		return nil, fmt.Errorf("cfg: function entry 0x%x outside code segment", funcEntry)
+	}
+	last := p.IndexOf(funcEnd - isa.InstSize)
+	if last < 0 {
+		last = len(p.Code) - 1
+	}
+
+	indirectSuccs := func(pc uint64) []uint64 {
+		seen := map[uint64]bool{}
+		var ts []uint64
+		for _, t := range p.JumpTargets[pc] {
+			if !seen[t] {
+				seen[t] = true
+				ts = append(ts, t)
+			}
+		}
+		for _, t := range extraTargets[pc] {
+			if !seen[t] {
+				seen[t] = true
+				ts = append(ts, t)
+			}
+		}
+		return ts
+	}
+
+	inFunc := func(pc uint64) bool { return pc >= funcEntry && pc < funcEnd }
+
+	// Pass 1: find leaders.
+	leaders := map[uint64]bool{funcEntry: true}
+	for i := first; i <= last; i++ {
+		pc := p.PCOf(i)
+		inst := p.Code[i]
+		switch {
+		case inst.IsCondBranch():
+			if inFunc(uint64(inst.Imm)) {
+				leaders[uint64(inst.Imm)] = true
+			}
+			if pc+isa.InstSize < funcEnd {
+				leaders[pc+isa.InstSize] = true
+			}
+		case inst.Op == isa.OpJ:
+			if inFunc(uint64(inst.Imm)) {
+				leaders[uint64(inst.Imm)] = true
+			}
+			if pc+isa.InstSize < funcEnd {
+				leaders[pc+isa.InstSize] = true
+			}
+		case inst.IsCall(): // jal/jalr: block ends, control returns to pc+4
+			if pc+isa.InstSize < funcEnd {
+				leaders[pc+isa.InstSize] = true
+			}
+		case inst.Op == isa.OpJR: // return or computed jump
+			if pc+isa.InstSize < funcEnd {
+				leaders[pc+isa.InstSize] = true
+			}
+			for _, t := range indirectSuccs(pc) {
+				if inFunc(t) {
+					leaders[t] = true
+				}
+			}
+		case inst.Op == isa.OpHALT:
+			if pc+isa.InstSize < funcEnd {
+				leaders[pc+isa.InstSize] = true
+			}
+		}
+	}
+
+	starts := make([]uint64, 0, len(leaders))
+	for pc := range leaders {
+		starts = append(starts, pc)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	g := &Graph{Prog: p, FuncEntry: funcEntry, FuncEnd: funcEnd}
+	idOf := map[uint64]int{}
+	for i, s := range starts {
+		end := funcEnd
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		b := &Block{ID: i, Start: s, End: end}
+		g.Blocks = append(g.Blocks, b)
+		idOf[s] = i
+	}
+	exit := &Block{ID: len(g.Blocks), Virtual: true}
+	g.Blocks = append(g.Blocks, exit)
+
+	addEdge := func(from, to int) {
+		for _, s := range g.Blocks[from].Succs {
+			if s == to {
+				return
+			}
+		}
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	succOf := func(pc uint64) int {
+		if id, ok := idOf[pc]; ok {
+			return id
+		}
+		return exit.ID // leaves the function
+	}
+
+	// Pass 2: edges.
+	for _, b := range g.Blocks {
+		if b.Virtual {
+			continue
+		}
+		inst, _ := p.InstAt(b.LastPC())
+		pcAfter := b.End
+		switch {
+		case inst.IsCondBranch():
+			addEdge(b.ID, succOf(pcAfter))
+			addEdge(b.ID, succOf(uint64(inst.Imm)))
+		case inst.Op == isa.OpJ:
+			addEdge(b.ID, succOf(uint64(inst.Imm)))
+		case inst.IsCall():
+			// Intraprocedural view: flow continues at the return address.
+			if pcAfter < funcEnd {
+				addEdge(b.ID, succOf(pcAfter))
+			} else {
+				addEdge(b.ID, exit.ID)
+			}
+		case inst.Op == isa.OpJR:
+			inst2, _ := g.Terminator(b.ID)
+			if inst2.IsReturn() {
+				addEdge(b.ID, exit.ID)
+				break
+			}
+			ts := indirectSuccs(b.LastPC())
+			if len(ts) == 0 {
+				addEdge(b.ID, exit.ID)
+			}
+			for _, t := range ts {
+				addEdge(b.ID, succOf(t))
+			}
+		case inst.Op == isa.OpHALT:
+			addEdge(b.ID, exit.ID)
+		default:
+			// plain fall-through (only possible at a leader boundary)
+			if pcAfter < funcEnd {
+				addEdge(b.ID, succOf(pcAfter))
+			} else {
+				addEdge(b.ID, exit.ID)
+			}
+		}
+	}
+
+	for _, b := range g.Blocks {
+		if !b.Virtual {
+			g.byStart = append(g.byStart, b.Start)
+			g.startID = append(g.startID, b.ID)
+		}
+	}
+	return g, nil
+}
+
+// BuildAll constructs CFGs for every function in the program, in Funcs
+// order. Programs with no declared functions get one graph rooted at the
+// entry PC.
+func BuildAll(p *isa.Program, extraTargets map[uint64][]uint64) ([]*Graph, error) {
+	entries := p.Funcs
+	if len(entries) == 0 {
+		entries = []uint64{p.CodeBase}
+	}
+	var out []*Graph
+	for _, e := range entries {
+		g, err := Build(p, e, extraTargets)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Dump renders the graph for debugging and the cfgtool command.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	name := g.Prog.SymbolFor(g.FuncEntry)
+	fmt.Fprintf(&sb, "func %s [0x%x, 0x%x)\n", name, g.FuncEntry, g.FuncEnd)
+	for _, b := range g.Blocks {
+		if b.Virtual {
+			fmt.Fprintf(&sb, "  B%d <exit>\n", b.ID)
+			continue
+		}
+		term, _ := g.Terminator(b.ID)
+		fmt.Fprintf(&sb, "  B%d [0x%x,0x%x) term=%q succs=%v\n", b.ID, b.Start, b.End, term.String(), b.Succs)
+	}
+	return sb.String()
+}

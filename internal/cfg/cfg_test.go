@@ -1,0 +1,234 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p, p.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "nop\nnop\nhalt\n")
+	// One real block plus the virtual exit.
+	if g.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", g.NumBlocks())
+	}
+	b := g.Blocks[0]
+	if len(b.Succs) != 1 || b.Succs[0] != g.Exit() {
+		t.Fatalf("halt must flow to exit: %v", b.Succs)
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	g := build(t, `
+        beq  $t0, $t1, els
+        nop
+        j    join
+els:    nop
+join:   halt
+`)
+	// blocks: [beq][nop,j][els][join] + exit
+	if g.NumBlocks() != 5 {
+		t.Fatalf("blocks = %d, want 5: %s", g.NumBlocks(), g.Dump())
+	}
+	entry := g.Blocks[g.Entry()]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("branch block has %d successors", len(entry.Succs))
+	}
+	join := g.BlockAt(g.Prog.Labels["join"])
+	if join < 0 {
+		t.Fatalf("join block not found")
+	}
+	if len(g.Blocks[join].Preds) != 2 {
+		t.Fatalf("join preds = %v, want two", g.Blocks[join].Preds)
+	}
+}
+
+func TestLoopEdges(t *testing.T) {
+	g := build(t, `
+        li   $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        halt
+`)
+	loopB := g.BlockAt(g.Prog.Labels["loop"])
+	found := false
+	for _, s := range g.Blocks[loopB].Succs {
+		if s == loopB {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("back edge missing: %s", g.Dump())
+	}
+}
+
+func TestCallIsStraightLineIntraprocedurally(t *testing.T) {
+	g := build(t, `
+        .func main
+main:   jal  f
+        halt
+        .func f
+f:      ret
+`)
+	// main's CFG: [jal][halt] + exit; the call block flows to the return
+	// address block, not into f.
+	callB := g.Blocks[g.Entry()]
+	if len(callB.Succs) != 1 {
+		t.Fatalf("call block successors = %v", callB.Succs)
+	}
+	next := g.Blocks[callB.Succs[0]]
+	if next.Virtual || next.Start != g.Prog.Labels["main"]+isa.InstSize {
+		t.Fatalf("call must fall through to the return address")
+	}
+	// f's code must not be inside main's graph.
+	if g.FuncEnd != g.Prog.Labels["f"] {
+		t.Fatalf("function boundary wrong: end=%x", g.FuncEnd)
+	}
+}
+
+func TestReturnFlowsToExit(t *testing.T) {
+	p, err := asm.Assemble(`
+        .func main
+main:   halt
+        .func f
+f:      nop
+        ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p, p.Labels["f"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Blocks[g.Entry()]
+	if len(b.Succs) != 1 || b.Succs[0] != g.Exit() {
+		t.Fatalf("return must flow to virtual exit: %v", b.Succs)
+	}
+}
+
+func TestIndirectJumpSuccessors(t *testing.T) {
+	g := build(t, `
+main:   jr   $t0
+        .targets a, b
+a:      halt
+b:      halt
+`)
+	jrB := g.Blocks[g.Entry()]
+	if len(jrB.Succs) != 2 {
+		t.Fatalf("jr successors = %v, want both annotated targets", jrB.Succs)
+	}
+}
+
+func TestProfileAugmentedIndirect(t *testing.T) {
+	p, err := asm.Assemble(`
+main:   jr   $t0
+a:      halt
+b:      halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No .targets annotation: successors come from the profile.
+	extra := map[uint64][]uint64{p.Entry: {p.Labels["a"], p.Labels["b"]}}
+	g, err := Build(p, p.Entry, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks[g.Entry()].Succs) != 2 {
+		t.Fatalf("profile targets not applied: %v", g.Blocks[g.Entry()].Succs)
+	}
+	// Without any target info the jump pessimistically exits.
+	g2, err := Build(p, p.Entry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Blocks[g2.Entry()].Succs) != 1 || g2.Blocks[g2.Entry()].Succs[0] != g2.Exit() {
+		t.Fatalf("unannotated jr must flow to exit")
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	g := build(t, `
+        nop
+        beq $t0, $t1, l
+        nop
+l:      halt
+`)
+	first := g.BlockOf(g.Prog.CodeBase)
+	if first != g.Entry() {
+		t.Fatalf("BlockOf(entry) wrong")
+	}
+	if g.BlockOf(g.Prog.CodeBase+isa.InstSize) != first {
+		t.Fatalf("second instruction must be in the entry block")
+	}
+	if g.BlockOf(0x50) != -1 {
+		t.Fatalf("out-of-function PC must map to -1")
+	}
+	if g.BlockAt(g.Prog.CodeBase+isa.InstSize) != -1 {
+		t.Fatalf("BlockAt must require an exact block start")
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	p, err := asm.Assemble(`
+        .func main
+main:   jal f
+        halt
+        .func f
+f:      ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := BuildAll(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("BuildAll produced %d graphs, want 2", len(gs))
+	}
+	if gs[0].FuncEntry != p.Labels["main"] || gs[1].FuncEntry != p.Labels["f"] {
+		t.Fatalf("graph entries wrong")
+	}
+}
+
+// TestEdgeConsistency: every successor edge has a matching predecessor
+// edge, on a nontrivial program.
+func TestEdgeConsistency(t *testing.T) {
+	g := build(t, `
+        li   $t0, 5
+loop:   beq  $t0, $zero, done
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        nop
+done:   halt
+`)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, pb := range g.Blocks[s].Preds {
+				if pb == b.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge B%d->B%d has no predecessor record", b.ID, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package core implements the paper's primary contribution: identification
+// of control-equivalent spawn points from the immediate postdominators of
+// branching instructions, their classification into the four categories of
+// Figure 5 (loop fall-throughs, procedure fall-throughs, simple hammocks,
+// and "other"), the loop-iteration spawn heuristic of Section 2.3 (spawn
+// the loop's last basic block from the loop entry), and the spawn-policy
+// algebra the evaluation sweeps over (individual heuristics, unions, and
+// leave-one-out exclusions of the full postdominator set).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdg"
+	"repro/internal/cfg"
+	"repro/internal/dom"
+	"repro/internal/isa"
+	"repro/internal/loops"
+)
+
+// Kind classifies a spawn point.
+type Kind int
+
+// Spawn-point categories. KindLoop is the classic loop-iteration heuristic;
+// the other four are the paper's taxonomy of immediate postdominators.
+const (
+	KindLoop Kind = iota
+	KindLoopFT
+	KindProcFT
+	KindHammock
+	KindOther
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"loop", "loopFT", "procFT", "hammock", "other"}
+
+// String returns the category name used in the paper's figures.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Spawn is one spawn opportunity: when fetch reaches From, a new task may
+// be spawned at Target.
+type Spawn struct {
+	From   uint64
+	Target uint64
+	Kind   Kind
+}
+
+// FuncAnalysis bundles the per-function static analyses.
+type FuncAnalysis struct {
+	Graph  *cfg.Graph
+	Dom    *dom.Tree // dominators, rooted at the function entry
+	PDom   *dom.Tree // postdominators, rooted at the virtual exit
+	CDG    *cdg.Graph
+	Loops  *loops.Forest
+	Spawns []Spawn
+}
+
+// Analysis is the whole-program spawn-point analysis.
+type Analysis struct {
+	Prog  *isa.Program
+	Funcs []*FuncAnalysis
+	// Spawns is the union over functions, sorted by (From, Target).
+	Spawns []Spawn
+}
+
+// Analyze runs the full static analysis. indirectTargets optionally
+// augments jump-table annotations with profile-observed indirect jump
+// targets (see trace.IndirectTargets); it may be nil.
+func Analyze(p *isa.Program, indirectTargets map[uint64][]uint64) (*Analysis, error) {
+	graphs, err := cfg.BuildAll(p, indirectTargets)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{Prog: p}
+	for _, g := range graphs {
+		fa := analyzeFunc(g)
+		a.Funcs = append(a.Funcs, fa)
+		a.Spawns = append(a.Spawns, fa.Spawns...)
+	}
+	sort.Slice(a.Spawns, func(i, j int) bool {
+		if a.Spawns[i].From != a.Spawns[j].From {
+			return a.Spawns[i].From < a.Spawns[j].From
+		}
+		return a.Spawns[i].Target < a.Spawns[j].Target
+	})
+	return a, nil
+}
+
+func analyzeFunc(g *cfg.Graph) *FuncAnalysis {
+	succs := g.SuccLists()
+	preds := g.PredLists()
+	fa := &FuncAnalysis{
+		Graph: g,
+		Dom:   dom.Compute(succs, g.Entry()),
+		PDom:  dom.Compute(preds, g.Exit()),
+	}
+	fa.CDG = cdg.Build(succs, fa.PDom)
+	fa.Loops = loops.Find(succs, fa.Dom)
+	fa.Spawns = identifySpawns(fa)
+	return fa
+}
+
+// ipdomTarget returns the start PC of block b's immediate postdominator,
+// or ok=false when the ipdom is the virtual exit (no in-function spawn
+// target) or b is not on any path to exit.
+func ipdomTarget(fa *FuncAnalysis, b int) (uint64, bool) {
+	ip := fa.PDom.IDom[b]
+	if ip < 0 || fa.Graph.Blocks[ip].Virtual {
+		return 0, false
+	}
+	return fa.Graph.Blocks[ip].Start, true
+}
+
+// isLoopBranch reports whether block b's terminating conditional branch is
+// a loop branch: a back-edge source (latch) or a loop-exit branch
+// ("including breaks and other exit conditions", Section 2.2).
+func isLoopBranch(fa *FuncAnalysis, b int) bool {
+	for _, s := range fa.Graph.Blocks[b].Succs {
+		if fa.Loops.IsBackEdge(b, s) {
+			return true
+		}
+	}
+	li := fa.Loops.InnermostOf[b]
+	if li < 0 {
+		return false
+	}
+	// Exit branch of any enclosing loop.
+	for l := li; l >= 0; l = fa.Loops.Loops[l].Parent {
+		body := fa.Loops.Loops[l].Body
+		for _, s := range fa.Graph.Blocks[b].Succs {
+			if !body[s] && !fa.Graph.Blocks[s].Virtual {
+				return true
+			}
+			if fa.Graph.Blocks[s].Virtual {
+				return true // leaving the function leaves the loop
+			}
+		}
+	}
+	return false
+}
+
+// isHammock reports whether block b's conditional branch forms a simple
+// single-entry hammock: every block control dependent on b is dominated by
+// b (one way in), so the branch's ipdom is the join of exactly the two
+// paths through the conditional.
+func isHammock(fa *FuncAnalysis, b int) bool {
+	for _, x := range fa.CDG.Controls[b] {
+		if x == b {
+			continue // self-dependence would indicate a loop branch anyway
+		}
+		if fa.Graph.Blocks[x].Virtual {
+			return false
+		}
+		if !fa.Dom.Dominates(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// identifySpawns computes every control-equivalent spawn point of the
+// function plus the loop-iteration spawns of the loop heuristic.
+func identifySpawns(fa *FuncAnalysis) []Spawn {
+	var out []Spawn
+	g := fa.Graph
+	for _, blk := range g.Blocks {
+		if blk.Virtual {
+			continue
+		}
+		term, ok := g.Terminator(blk.ID)
+		if !ok {
+			continue
+		}
+		switch {
+		case term.IsCondBranch():
+			tgt, ok := ipdomTarget(fa, blk.ID)
+			if !ok {
+				break
+			}
+			kind := KindOther
+			switch {
+			case isLoopBranch(fa, blk.ID):
+				kind = KindLoopFT
+			case isHammock(fa, blk.ID):
+				kind = KindHammock
+			}
+			out = append(out, Spawn{From: blk.LastPC(), Target: tgt, Kind: kind})
+		case term.IsCall():
+			tgt, ok := ipdomTarget(fa, blk.ID)
+			if !ok {
+				break
+			}
+			out = append(out, Spawn{From: blk.LastPC(), Target: tgt, Kind: KindProcFT})
+		case term.Op == isa.OpJR && !term.IsReturn():
+			// Indirect jump (e.g. switch dispatch): its ipdom is an
+			// unclassified "other" spawn.
+			tgt, ok := ipdomTarget(fa, blk.ID)
+			if !ok {
+				break
+			}
+			out = append(out, Spawn{From: blk.LastPC(), Target: tgt, Kind: KindOther})
+		}
+	}
+
+	// Loop-iteration spawns (Section 2.3): whenever fetch reaches the loop
+	// entry (header), spawn the loop's last basic block — the block that
+	// ends in the loop branch — so the index-variable update stays local
+	// to the spawned task. With multiple latches, the layout-last one is
+	// the loop branch block.
+	for _, l := range fa.Loops.Loops {
+		if len(l.Latches) == 0 {
+			continue
+		}
+		latch := l.Latches[0]
+		for _, c := range l.Latches[1:] {
+			if g.Blocks[c].Start > g.Blocks[latch].Start {
+				latch = c
+			}
+		}
+		if latch == l.Header {
+			continue // single-block loop: spawning itself is useless
+		}
+		out = append(out, Spawn{
+			From:   g.Blocks[l.Header].Start,
+			Target: g.Blocks[latch].Start,
+			Kind:   KindLoop,
+		})
+	}
+	return out
+}
+
+// CountByKind tallies the static spawn points per category — the data of
+// Figure 5 (which covers the four postdominator categories; KindLoop is
+// reported separately since it is a heuristic, not an ipdom class).
+func (a *Analysis) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, s := range a.Spawns {
+		out[s.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func spawnsFrom(a *Analysis, pc uint64) []Spawn {
+	var out []Spawn
+	for _, s := range a.Spawns {
+		if s.From == pc {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func firstOfKind(a *Analysis, k Kind) (Spawn, bool) {
+	for _, s := range a.Spawns {
+		if s.Kind == k {
+			return s, true
+		}
+	}
+	return Spawn{}, false
+}
+
+// TestIfThenElseIsHammock: the join of an if-then-else is a hammock spawn
+// point for the branch.
+func TestIfThenElseIsHammock(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   beq  $t0, $t1, els
+        nop
+        nop
+        j    join
+els:    nop
+join:   nop
+        halt
+`)
+	p := a.Prog
+	ss := spawnsFrom(a, p.Labels["main"])
+	if len(ss) != 1 {
+		t.Fatalf("spawns at branch = %v, want one", ss)
+	}
+	if ss[0].Kind != KindHammock {
+		t.Fatalf("kind = %v, want hammock", ss[0].Kind)
+	}
+	if ss[0].Target != p.Labels["join"] {
+		t.Fatalf("target = %x, want join %x", ss[0].Target, p.Labels["join"])
+	}
+}
+
+// TestIfThenIsHammock: an if-then with a fall-through join.
+func TestIfThenIsHammock(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   bgez $t0, join
+        neg  $t0, $t0
+join:   nop
+        halt
+`)
+	ss := spawnsFrom(a, a.Prog.Labels["main"])
+	if len(ss) != 1 || ss[0].Kind != KindHammock || ss[0].Target != a.Prog.Labels["join"] {
+		t.Fatalf("ABS hammock wrong: %v", ss)
+	}
+}
+
+// TestLoopBranchIsLoopFT: the latch branch's ipdom (the loop fall-through)
+// is classified loopFT, and the loop-iteration spawn pairs the header with
+// the latch block (Section 2.3: spawn the last basic block of the loop from
+// the loop entry).
+func TestLoopBranchAndLoopSpawn(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   li   $t0, 5
+head:   addi $t1, $t1, 2
+        addi $t0, $t0, -1
+        bgtz $t0, head
+after:  nop
+        halt
+`)
+	p := a.Prog
+	latchPC := p.Labels["head"] + 2*isa.InstSize // the bgtz
+	ss := spawnsFrom(a, latchPC)
+	if len(ss) != 1 || ss[0].Kind != KindLoopFT || ss[0].Target != p.Labels["after"] {
+		t.Fatalf("loopFT wrong: %+v", ss)
+	}
+	// Loop spawn: triggered at the header, targeting the latch block —
+	// here the loop is a single block, so spawning itself is useless and
+	// must be suppressed.
+	if s, ok := firstOfKind(a, KindLoop); ok {
+		t.Fatalf("single-block loop must not produce a loop spawn: %+v", s)
+	}
+}
+
+func TestMultiBlockLoopSpawn(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   li   $t0, 5
+head:   bgez $t1, skip
+        neg  $t1, $t1
+skip:   addi $t0, $t0, -1
+        bgtz $t0, head
+        halt
+`)
+	p := a.Prog
+	s, ok := firstOfKind(a, KindLoop)
+	if !ok {
+		t.Fatalf("no loop spawn found")
+	}
+	if s.From != p.Labels["head"] || s.Target != p.Labels["skip"] {
+		t.Fatalf("loop spawn = %+v, want head -> skip (latch block)", s)
+	}
+}
+
+// TestLoopExitBranchIsLoopFT: a break out of a loop is a loop branch
+// ("including breaks and other exit conditions").
+func TestBreakIsLoopFT(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   li   $t0, 5
+head:   beq  $t1, $t2, out
+        addi $t0, $t0, -1
+        bgtz $t0, head
+out:    nop
+        halt
+`)
+	// "head" is both the loop header (loop-spawn trigger) and the break
+	// branch, so two spawns share the From PC; the break itself must be
+	// classified loopFT targeting the loop exit.
+	found := false
+	for _, s := range spawnsFrom(a, a.Prog.Labels["head"]) {
+		if s.Kind == KindLoopFT && s.Target == a.Prog.Labels["out"] {
+			found = true
+		}
+		if s.Kind == KindHammock {
+			t.Fatalf("break misclassified as hammock")
+		}
+	}
+	if !found {
+		t.Fatalf("break loopFT spawn missing: %v", spawnsFrom(a, a.Prog.Labels["head"]))
+	}
+}
+
+// TestCallIsProcFT: the ipdom of a call block is a procedure fall-through.
+func TestCallIsProcFT(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   jal  f
+ret_pt: nop
+        halt
+        .func f
+f:      ret
+`)
+	p := a.Prog
+	ss := spawnsFrom(a, p.Labels["main"])
+	if len(ss) != 1 || ss[0].Kind != KindProcFT || ss[0].Target != p.Labels["ret_pt"] {
+		t.Fatalf("procFT wrong: %v", ss)
+	}
+}
+
+// TestCrossJumpIsOther: a branch into the middle of another branch's arm
+// yields a control-dependent region not dominated by the branch — the
+// "other" category.
+func TestCrossJumpIsOther(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   beq  $t0, $zero, second
+        nop
+        j    mid
+second: beq  $t1, $zero, out
+        nop
+mid:    nop
+out:    nop
+        halt
+`)
+	p := a.Prog
+	ss := spawnsFrom(a, p.Labels["second"])
+	if len(ss) != 1 || ss[0].Kind != KindOther {
+		t.Fatalf("cross-jumped branch = %v, want other", ss)
+	}
+	// The outer branch still forms a single-entry region.
+	outer := spawnsFrom(a, p.Labels["main"])
+	if len(outer) != 1 || outer[0].Kind != KindHammock {
+		t.Fatalf("outer branch = %v, want hammock", outer)
+	}
+}
+
+// TestIndirectJumpIsOther: the ipdom of a jump-table dispatch is "other".
+func TestIndirectJumpIsOther(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   jr   $t0
+        .targets a, b
+a:      nop
+        j    join
+b:      nop
+join:   nop
+        halt
+`)
+	p := a.Prog
+	ss := spawnsFrom(a, p.Labels["main"])
+	if len(ss) != 1 || ss[0].Kind != KindOther || ss[0].Target != p.Labels["join"] {
+		t.Fatalf("indirect dispatch = %v, want other -> join", ss)
+	}
+}
+
+// TestNoSpawnWhenIpdomIsExit: a branch whose paths only rejoin past the
+// function end yields no spawn point.
+func TestNoSpawnWhenIpdomIsExit(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   beq  $t0, $zero, b
+        halt
+b:      halt
+`)
+	if len(spawnsFrom(a, a.Prog.Labels["main"])) != 0 {
+		t.Fatalf("branch with exit ipdom must not spawn")
+	}
+}
+
+// TestTwolfKernelAnatomy reproduces the Section 2.3 anatomy on the paper's
+// Figure 6 kernel: three hammocks inside the inner loop, a loopFT at the
+// inner latch whose target starts the outer-iteration tail, a loopFT at the
+// outer latch, and loop-iteration spawns header->latch for both loops.
+func TestTwolfKernelAnatomy(t *testing.T) {
+	a := analyze(t, `
+        .func new_dbox_a
+new_dbox_a:
+        beq  $a0, $zero, outer_done
+outer_body:
+        ld   $s0, 8($a0)
+        beq  $s0, $zero, inner_done
+inner_body:
+        ld   $t0, 16($s0)
+        ld   $t1, 8($s0)
+        li   $t2, 1
+        bne  $t0, $t2, else_part
+        ld   $t3, 24($s0)
+        sd   $zero, 16($s0)
+        j    join1
+else_part:
+        move $t3, $t1
+join1:
+        sub  $t4, $t3, $t9
+        bgez $t4, join2
+        neg  $t4, $t4
+join2:
+        sub  $t5, $t1, $t8
+        bgez $t5, join3
+        neg  $t5, $t5
+join3:
+        sub  $t6, $t4, $t5
+        add  $s2, $s2, $t6
+        ld   $s0, 0($s0)
+        bne  $s0, $zero, inner_body
+inner_done:
+        ld   $a0, 0($a0)
+        bne  $a0, $zero, outer_body
+outer_done:
+        ret
+`)
+	p := a.Prog
+	labels := p.Labels
+
+	// Five hammocks: the if-then-else, the two ABS if-thens, and the two
+	// list-null guards (whose ipdoms are the loop continuations — the
+	// guard pattern through which postdominator analysis recovers
+	// loop-iteration spawns).
+	byKind := a.CountByKind()
+	if byKind[KindHammock] != 5 {
+		t.Errorf("hammocks = %d, want 5", byKind[KindHammock])
+	}
+	if byKind[KindLoopFT] < 2 {
+		t.Errorf("loopFTs = %d, want at least 2 (inner and outer latch)", byKind[KindLoopFT])
+	}
+	if byKind[KindLoop] != 2 {
+		t.Errorf("loop spawns = %d, want 2 (inner and outer)", byKind[KindLoop])
+	}
+
+	// Hammock targets are the three joins.
+	for _, want := range []string{"join1", "join2", "join3"} {
+		found := false
+		for _, s := range a.Spawns {
+			if s.Kind == KindHammock && s.Target == labels[want] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no hammock spawn targets %s", want)
+		}
+	}
+
+	// The inner loop fall-through (9dd8 -> 9dec in the paper) targets
+	// inner_done — the start of the next outer-iteration tail.
+	foundInnerFT := false
+	for _, s := range a.Spawns {
+		if s.Kind == KindLoopFT && s.Target == labels["inner_done"] {
+			foundInnerFT = true
+		}
+	}
+	if !foundInnerFT {
+		t.Errorf("inner loop fall-through spawn missing")
+	}
+
+	// Loop spawns: inner header (inner_body) -> join3 block (the inner
+	// latch block), outer header (outer_body) -> inner_done block.
+	wantLoop := map[uint64]uint64{
+		labels["inner_body"]: labels["join3"],
+		labels["outer_body"]: labels["inner_done"],
+	}
+	for _, s := range a.Spawns {
+		if s.Kind != KindLoop {
+			continue
+		}
+		if tgt, ok := wantLoop[s.From]; !ok || tgt != s.Target {
+			t.Errorf("unexpected loop spawn %x -> %x", s.From, s.Target)
+		}
+		delete(wantLoop, s.From)
+	}
+	if len(wantLoop) != 0 {
+		t.Errorf("missing loop spawns: %v", wantLoop)
+	}
+}
+
+func TestPolicyAlgebra(t *testing.T) {
+	if !PolicyPostdoms.Includes(KindHammock) || PolicyPostdoms.Includes(KindLoop) {
+		t.Fatalf("postdoms must include the four ipdom kinds and not loop")
+	}
+	if !PolicyLoopLoopFT.Includes(KindLoop) || !PolicyLoopLoopFT.Includes(KindLoopFT) ||
+		PolicyLoopLoopFT.Includes(KindProcFT) {
+		t.Fatalf("combination policy wrong")
+	}
+	for _, p := range ExclusionPolicies() {
+		n := 0
+		for k := Kind(0); k < NumKinds; k++ {
+			if p.Includes(k) {
+				n++
+			}
+		}
+		if n != 3 || p.Includes(KindLoop) {
+			t.Fatalf("exclusion policy %q includes %d kinds", p.Name, n)
+		}
+	}
+	if len(IndividualPolicies()) != 6 || len(CombinationPolicies()) != 4 {
+		t.Fatalf("policy sweep sizes wrong")
+	}
+}
+
+func TestPolicyTableAndSource(t *testing.T) {
+	a := analyze(t, `
+        .func main
+main:   bgez $t0, join
+        neg  $t0, $t0
+join:   jal  f
+        halt
+        .func f
+f:      ret
+`)
+	hamTab := PolicyHammock.Table(a)
+	procTab := PolicyProcFT.Table(a)
+	if len(hamTab) != 1 || len(procTab) != 1 {
+		t.Fatalf("tables wrong: %v %v", hamTab, procTab)
+	}
+	src := PolicyPostdoms.Source(a)
+	if got := src.SpawnsAt(a.Prog.Labels["main"]); len(got) != 1 {
+		t.Fatalf("SpawnsAt(branch) = %v", got)
+	}
+	if got := src.SpawnsAt(0xdead); got != nil {
+		t.Fatalf("SpawnsAt(unknown) = %v", got)
+	}
+	src.OnRetire(nil) // must be a no-op
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindLoop: "loop", KindLoopFT: "loopFT", KindProcFT: "procFT",
+		KindHammock: "hammock", KindOther: "other",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

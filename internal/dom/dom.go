@@ -1,0 +1,263 @@
+// Package dom computes dominator and postdominator trees. Postdominance is
+// computed, as the paper describes, "by finding dominators in the reversed
+// CFG, with the entry and exit nodes interchanged along with the direction
+// of all edges".
+//
+// The production algorithm is the Cooper–Harvey–Kennedy iterative scheme
+// over reverse postorder; a naive O(n²) dataflow reference implementation is
+// provided for property-based cross-checking in tests.
+package dom
+
+// Tree is a dominator tree over nodes 0..n-1.
+type Tree struct {
+	// IDom[v] is the immediate dominator of v, -1 for the root and for
+	// nodes unreachable from the root.
+	IDom []int
+	// Depth[v] is the v's depth in the dominator tree (root = 0); -1 for
+	// unreachable nodes.
+	Depth []int
+	// Order is the reverse postorder of reachable nodes.
+	Order []int
+	root  int
+}
+
+// Root returns the tree's root node.
+func (t *Tree) Root() int { return t.root }
+
+// Reachable reports whether v is reachable from the root.
+func (t *Tree) Reachable(v int) bool { return v == t.root || t.IDom[v] >= 0 }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *Tree) Dominates(a, b int) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	for b != -1 && t.Depth[b] >= t.Depth[a] {
+		if b == a {
+			return true
+		}
+		b = t.IDom[b]
+	}
+	return false
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *Tree) StrictlyDominates(a, b int) bool { return a != b && t.Dominates(a, b) }
+
+// Children returns the dominator-tree children lists, indexable by node.
+func (t *Tree) Children() [][]int {
+	out := make([][]int, len(t.IDom))
+	for v, p := range t.IDom {
+		if p >= 0 {
+			out[p] = append(out[p], v)
+		}
+	}
+	return out
+}
+
+// Compute builds the dominator tree of the graph given by adjacency lists,
+// rooted at root. To obtain postdominators, pass the reversed graph with
+// the (virtual) exit node as root.
+func Compute(succs [][]int, root int) *Tree {
+	n := len(succs)
+	t := &Tree{
+		IDom:  make([]int, n),
+		Depth: make([]int, n),
+		root:  root,
+	}
+	for i := range t.IDom {
+		t.IDom[i] = -1
+		t.Depth[i] = -1
+	}
+	if n == 0 {
+		return t
+	}
+
+	// Reverse postorder via iterative DFS.
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	post := make([]int, 0, n)
+	type frame struct {
+		v, i int
+	}
+	stack := []frame{{root, 0}}
+	state[root] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(succs[f.v]) {
+			w := succs[f.v][f.i]
+			f.i++
+			if state[w] == 0 {
+				state[w] = 1
+				stack = append(stack, frame{w, 0})
+			}
+			continue
+		}
+		state[f.v] = 2
+		post = append(post, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, len(post))
+	for i, v := range post {
+		rpo[len(post)-1-i] = v
+	}
+	t.Order = rpo
+
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range rpo {
+		rpoNum[v] = i
+	}
+
+	// Predecessor lists restricted to reachable nodes.
+	preds := make([][]int, n)
+	for v, ss := range succs {
+		if rpoNum[v] < 0 {
+			continue
+		}
+		for _, w := range ss {
+			preds[w] = append(preds[w], v)
+		}
+	}
+
+	intersect := func(idom []int, a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+	for changed := true; changed; {
+		changed = false
+		for _, v := range rpo {
+			if v == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[v] {
+				if idom[p] == -1 {
+					continue // not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(idom, newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if v == root || idom[v] == -1 {
+			t.IDom[v] = -1
+		} else {
+			t.IDom[v] = idom[v]
+		}
+	}
+	// Depths in RPO order: idom always precedes in RPO.
+	t.Depth[root] = 0
+	for _, v := range rpo {
+		if v == root {
+			continue
+		}
+		if p := t.IDom[v]; p >= 0 && t.Depth[p] >= 0 {
+			t.Depth[v] = t.Depth[p] + 1
+		}
+	}
+	return t
+}
+
+// Reverse returns the transposed adjacency lists.
+func Reverse(succs [][]int) [][]int {
+	out := make([][]int, len(succs))
+	for v, ss := range succs {
+		for _, w := range ss {
+			out[w] = append(out[w], v)
+		}
+	}
+	return out
+}
+
+// NaiveDominators computes the full dominance relation by the textbook
+// iterative set-intersection dataflow, for cross-checking the fast
+// algorithm in tests. dom[v][u] is true when u dominates v. Unreachable
+// nodes have empty sets.
+func NaiveDominators(succs [][]int, root int) [][]bool {
+	n := len(succs)
+	reach := make([]bool, n)
+	var dfs func(int)
+	dfs = func(v int) {
+		if reach[v] {
+			return
+		}
+		reach[v] = true
+		for _, w := range succs[v] {
+			dfs(w)
+		}
+	}
+	if n > 0 {
+		dfs(root)
+	}
+	preds := Reverse(succs)
+	dom := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		dom[v] = make([]bool, n)
+		if !reach[v] {
+			continue
+		}
+		if v == root {
+			dom[v][v] = true
+			continue
+		}
+		for u := 0; u < n; u++ {
+			dom[v][u] = reach[u]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if !reach[v] || v == root {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range preds[v] {
+				if !reach[p] {
+					continue
+				}
+				if first {
+					copy(next, dom[p])
+					first = false
+				} else {
+					for u := range next {
+						next[u] = next[u] && dom[p][u]
+					}
+				}
+			}
+			next[v] = true
+			for u := range next {
+				if next[u] != dom[v][u] {
+					dom[v] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}

@@ -1,0 +1,205 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond: 0 -> 1,2 -> 3
+func diamond() [][]int {
+	return [][]int{{1, 2}, {3}, {3}, {}}
+}
+
+func TestDiamondDominators(t *testing.T) {
+	d := Compute(diamond(), 0)
+	if d.IDom[1] != 0 || d.IDom[2] != 0 || d.IDom[3] != 0 {
+		t.Fatalf("diamond idoms wrong: %v", d.IDom)
+	}
+	if !d.Dominates(0, 3) || d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Fatalf("diamond dominance relation wrong")
+	}
+}
+
+func TestDiamondPostdominators(t *testing.T) {
+	// Postdominators = dominators of the reversed graph rooted at exit.
+	p := Compute(Reverse(diamond()), 3)
+	if p.IDom[1] != 3 || p.IDom[2] != 3 || p.IDom[0] != 3 {
+		t.Fatalf("diamond ipdoms wrong: %v", p.IDom)
+	}
+	if !p.Dominates(3, 0) {
+		t.Fatalf("exit must postdominate entry")
+	}
+}
+
+// paperFigure1 is the flow graph of the paper's Figure 1: a loop containing
+// an if-then-else. Nodes: A=0 B=1 C=2 D=3 E=4 F=5, exit=6.
+func paperFigure1() [][]int {
+	return [][]int{
+		{1},    // A -> B
+		{2, 3}, // B -> C, D
+		{4},    // C -> E
+		{4},    // D -> E
+		{5},    // E -> F
+		{0, 6}, // F -> A (back edge), exit
+		{},     // exit
+	}
+}
+
+// TestPaperFigure2 checks the postdominator tree of Figure 2: the parent of
+// each node is its immediate postdominator (A's is B, B's is E, C's and D's
+// are E, E's is F).
+func TestPaperFigure2(t *testing.T) {
+	g := paperFigure1()
+	p := Compute(Reverse(g), 6)
+	want := map[int]int{0: 1, 1: 4, 2: 4, 3: 4, 4: 5, 5: 6}
+	for node, parent := range want {
+		if p.IDom[node] != parent {
+			t.Errorf("ipdom(%d) = %d, want %d", node, p.IDom[node], parent)
+		}
+	}
+	// "E postdominates B because control flow is guaranteed to reach E
+	// whenever it reaches B."
+	if !p.Dominates(4, 1) {
+		t.Errorf("E must postdominate B")
+	}
+	if p.Dominates(2, 1) || p.Dominates(3, 1) {
+		t.Errorf("neither C nor D postdominates B")
+	}
+}
+
+func TestUnreachableNodes(t *testing.T) {
+	// Node 2 unreachable from root 0.
+	g := [][]int{{1}, {}, {1}}
+	d := Compute(g, 0)
+	if d.Reachable(2) {
+		t.Fatalf("node 2 must be unreachable")
+	}
+	if d.IDom[1] != 0 {
+		t.Fatalf("idom(1) = %d, want 0", d.IDom[1])
+	}
+	if d.Dominates(2, 1) || d.Dominates(1, 2) {
+		t.Fatalf("unreachable nodes participate in dominance")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	d := Compute([][]int{{}}, 0)
+	if d.IDom[0] != -1 || d.Depth[0] != 0 || !d.Dominates(0, 0) {
+		t.Fatalf("single-node graph mishandled: %+v", d)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := [][]int{{0, 1}, {}}
+	d := Compute(g, 0)
+	if d.IDom[1] != 0 {
+		t.Fatalf("idom(1) = %d, want 0", d.IDom[1])
+	}
+}
+
+func TestIrreducibleGraph(t *testing.T) {
+	// 0 -> 1, 2; 1 -> 2; 2 -> 1; classic irreducible loop: idom(1) =
+	// idom(2) = 0.
+	g := [][]int{{1, 2}, {2}, {1}}
+	d := Compute(g, 0)
+	if d.IDom[1] != 0 || d.IDom[2] != 0 {
+		t.Fatalf("irreducible idoms wrong: %v", d.IDom)
+	}
+}
+
+func TestChildrenAndDepth(t *testing.T) {
+	d := Compute(diamond(), 0)
+	ch := d.Children()
+	if len(ch[0]) != 3 {
+		t.Fatalf("root children = %v, want three", ch[0])
+	}
+	for _, v := range []int{1, 2, 3} {
+		if d.Depth[v] != 1 {
+			t.Fatalf("depth(%d) = %d, want 1", v, d.Depth[v])
+		}
+	}
+}
+
+// randomGraph produces a random digraph with n nodes rooted at 0.
+func randomGraph(r *rand.Rand, n int) [][]int {
+	g := make([][]int, n)
+	for v := 0; v < n; v++ {
+		deg := r.Intn(3)
+		for k := 0; k < deg; k++ {
+			g[v] = append(g[v], r.Intn(n))
+		}
+	}
+	// Ensure some connectivity from the root.
+	for v := 1; v < n; v++ {
+		if r.Intn(2) == 0 {
+			g[v-1] = append(g[v-1], v)
+		}
+	}
+	return g
+}
+
+// TestQuickAgainstNaive cross-checks the Cooper-Harvey-Kennedy
+// implementation against the O(n^2) dataflow reference on random graphs:
+// u strictly dominates v exactly when u is a proper ancestor of v in the
+// computed tree.
+func TestQuickAgainstNaive(t *testing.T) {
+	cfgCheck := func(seed int64, size uint8) bool {
+		n := 2 + int(size)%14
+		g := randomGraph(rand.New(rand.NewSource(seed)), n)
+		tree := Compute(g, 0)
+		ref := NaiveDominators(g, 0)
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				want := ref[v][u]
+				got := tree.Dominates(u, v)
+				if want != got {
+					t.Logf("graph=%v: dominates(%d,%d) fast=%v naive=%v", g, u, v, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(cfgCheck, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIdomProperties checks structural dominator-tree invariants on
+// random graphs: the idom of a reachable non-root node is reachable,
+// strictly dominates it, and every other strict dominator of v also
+// dominates idom(v) (immediacy).
+func TestQuickIdomProperties(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		n := 2 + int(size)%14
+		g := randomGraph(rand.New(rand.NewSource(seed)), n)
+		tree := Compute(g, 0)
+		for v := 0; v < n; v++ {
+			if v == 0 || !tree.Reachable(v) {
+				continue
+			}
+			id := tree.IDom[v]
+			if id < 0 || !tree.Reachable(id) || !tree.StrictlyDominates(id, v) {
+				return false
+			}
+			for u := 0; u < n; u++ {
+				if u != v && tree.StrictlyDominates(u, v) && !tree.Dominates(u, id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := [][]int{{1, 2}, {2}, {}}
+	r := Reverse(g)
+	if len(r[2]) != 2 || len(r[1]) != 1 || len(r[0]) != 0 {
+		t.Fatalf("reverse wrong: %v", r)
+	}
+}

@@ -1,0 +1,163 @@
+package dom
+
+// ComputeLT builds the dominator tree with the classic Lengauer-Tarjan
+// algorithm (the "simple" O(E log V) path-compression variant). It produces
+// exactly the same tree as Compute; both are kept because the iterative
+// Cooper-Harvey-Kennedy scheme is faster on the small, mostly-reducible
+// CFGs this repository analyzes, while Lengauer-Tarjan is the reference
+// production algorithm — and cross-checking the two (see the property
+// tests) guards the analysis everything else is built on.
+func ComputeLT(succs [][]int, root int) *Tree {
+	n := len(succs)
+	t := &Tree{
+		IDom:  make([]int, n),
+		Depth: make([]int, n),
+		root:  root,
+	}
+	for i := range t.IDom {
+		t.IDom[i] = -1
+		t.Depth[i] = -1
+	}
+	if n == 0 {
+		return t
+	}
+
+	// DFS numbering.
+	semi := make([]int, n)   // semidominator, as a DFS number
+	vertex := make([]int, n) // DFS number -> node
+	parent := make([]int, n) // DFS tree parent (node ids)
+	dfnum := make([]int, n)  // node -> DFS number, -1 if unreachable
+	for i := range dfnum {
+		dfnum[i] = -1
+	}
+	cnt := 0
+	type frame struct{ v, i int }
+	stack := []frame{{root, 0}}
+	dfnum[root] = 0
+	vertex[0] = root
+	parent[root] = -1
+	cnt = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(succs[f.v]) {
+			w := succs[f.v][f.i]
+			f.i++
+			if dfnum[w] == -1 {
+				dfnum[w] = cnt
+				vertex[cnt] = w
+				parent[w] = f.v
+				cnt++
+				stack = append(stack, frame{w, 0})
+			}
+			continue
+		}
+		stack = stack[:len(stack)-1]
+	}
+
+	preds := make([][]int, n)
+	for v, ss := range succs {
+		if dfnum[v] < 0 {
+			continue
+		}
+		for _, w := range ss {
+			preds[w] = append(preds[w], v)
+		}
+	}
+
+	// Union-find forest with path compression carrying minimum-semi labels.
+	ancestor := make([]int, n)
+	label := make([]int, n)
+	for v := 0; v < n; v++ {
+		ancestor[v] = -1
+		label[v] = v
+		if dfnum[v] >= 0 {
+			semi[v] = dfnum[v]
+		}
+	}
+	var compress func(v int)
+	compress = func(v int) {
+		a := ancestor[v]
+		if ancestor[a] == -1 {
+			return
+		}
+		compress(a)
+		if semi[label[a]] < semi[label[v]] {
+			label[v] = label[a]
+		}
+		ancestor[v] = ancestor[a]
+	}
+	eval := func(v int) int {
+		if ancestor[v] == -1 {
+			return v
+		}
+		compress(v)
+		return label[v]
+	}
+	link := func(parent, child int) { ancestor[child] = parent }
+
+	bucket := make([][]int, n)
+	idom := make([]int, n)
+	samedom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+		samedom[i] = -1
+	}
+
+	for i := cnt - 1; i >= 1; i-- {
+		w := vertex[i]
+		p := parent[w]
+		// Semidominator of w.
+		for _, v := range preds[w] {
+			if dfnum[v] < 0 {
+				continue
+			}
+			var u int
+			if dfnum[v] <= dfnum[w] {
+				u = v
+			} else {
+				u = eval(v)
+			}
+			if semi[u] < semi[w] {
+				semi[w] = semi[u]
+			}
+		}
+		bucket[vertex[semi[w]]] = append(bucket[vertex[semi[w]]], w)
+		link(p, w)
+		// Implicitly compute idoms for p's bucket.
+		for _, v := range bucket[p] {
+			u := eval(v)
+			if semi[u] < semi[v] {
+				samedom[v] = u
+			} else {
+				idom[v] = p
+			}
+		}
+		bucket[p] = nil
+	}
+	for i := 1; i < cnt; i++ {
+		w := vertex[i]
+		if samedom[w] != -1 {
+			idom[w] = idom[samedom[w]]
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		if v == root || dfnum[v] < 0 {
+			t.IDom[v] = -1
+		} else {
+			t.IDom[v] = idom[v]
+		}
+	}
+	// Depths and order (DFS order is a valid processing order: idoms have
+	// smaller DFS numbers).
+	t.Depth[root] = 0
+	t.Order = append(t.Order, root)
+	for i := 1; i < cnt; i++ {
+		v := vertex[i]
+		t.Order = append(t.Order, v)
+		if p := t.IDom[v]; p >= 0 {
+			t.Depth[v] = t.Depth[p] + 1
+		}
+	}
+	return t
+}

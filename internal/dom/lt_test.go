@@ -1,0 +1,101 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLTDiamond(t *testing.T) {
+	d := ComputeLT(diamond(), 0)
+	if d.IDom[1] != 0 || d.IDom[2] != 0 || d.IDom[3] != 0 {
+		t.Fatalf("LT diamond idoms wrong: %v", d.IDom)
+	}
+}
+
+func TestLTPaperFigure2(t *testing.T) {
+	p := ComputeLT(Reverse(paperFigure1()), 6)
+	want := map[int]int{0: 1, 1: 4, 2: 4, 3: 4, 4: 5, 5: 6}
+	for node, parent := range want {
+		if p.IDom[node] != parent {
+			t.Errorf("LT ipdom(%d) = %d, want %d", node, p.IDom[node], parent)
+		}
+	}
+}
+
+func TestLTUnreachable(t *testing.T) {
+	d := ComputeLT([][]int{{1}, {}, {1}}, 0)
+	if d.Reachable(2) || d.IDom[1] != 0 {
+		t.Fatalf("LT unreachable handling wrong: %v", d.IDom)
+	}
+}
+
+func TestLTIrreducible(t *testing.T) {
+	d := ComputeLT([][]int{{1, 2}, {2}, {1}}, 0)
+	if d.IDom[1] != 0 || d.IDom[2] != 0 {
+		t.Fatalf("LT irreducible idoms wrong: %v", d.IDom)
+	}
+}
+
+// TestLTQuickAgreesWithCHK: the two dominator algorithms must produce the
+// same tree on arbitrary graphs.
+func TestLTQuickAgreesWithCHK(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		n := 2 + int(size)%20
+		g := randomGraph(rand.New(rand.NewSource(seed)), n)
+		a := Compute(g, 0)
+		b := ComputeLT(g, 0)
+		for v := 0; v < n; v++ {
+			if a.IDom[v] != b.IDom[v] {
+				t.Logf("graph=%v: idom(%d) CHK=%d LT=%d", g, v, a.IDom[v], b.IDom[v])
+				return false
+			}
+			if a.Depth[v] != b.Depth[v] {
+				t.Logf("graph=%v: depth(%d) CHK=%d LT=%d", g, v, a.Depth[v], b.Depth[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLTQuickAgreesOnReversedGraphs covers the postdominator use (reversed
+// CFG, exit-rooted), where unreachable-from-exit nodes are common.
+func TestLTQuickAgreesOnReversedGraphs(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		n := 2 + int(size)%20
+		g := randomGraph(rand.New(rand.NewSource(seed)), n)
+		r := Reverse(g)
+		root := n - 1
+		a := Compute(r, root)
+		b := ComputeLT(r, root)
+		for v := 0; v < n; v++ {
+			if a.IDom[v] != b.IDom[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCHK(b *testing.B) {
+	g := randomGraph(rand.New(rand.NewSource(42)), 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(g, 0)
+	}
+}
+
+func BenchmarkLT(b *testing.B) {
+	g := randomGraph(rand.New(rand.NewSource(42)), 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLT(g, 0)
+	}
+}

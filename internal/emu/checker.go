@@ -1,0 +1,35 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Check re-executes the program architecturally and verifies that the
+// given retired trace matches it instruction by instruction — the
+// mechanism the paper's simulator uses ("when an instruction is retired,
+// its results are compared against an architectural simulator, and an
+// error is signaled if the results do not match"). Because the timing
+// models are trace-driven, running Check over a trace before simulation
+// guarantees the machine only ever retires architecturally correct state.
+func Check(p *isa.Program, tr *trace.Trace) error {
+	m := New(p, 0)
+	for i := range tr.Entries {
+		if m.Halted {
+			return fmt.Errorf("emu: check: trace has %d entries but execution halted at %d", len(tr.Entries), i)
+		}
+		ref := &trace.Trace{Entries: make([]trace.Entry, 0, 1)}
+		if err := m.Step(ref); err != nil {
+			return fmt.Errorf("emu: check: at entry %d: %w", i, err)
+		}
+		got, want := ref.Entries[0], tr.Entries[i]
+		if got != want {
+			return fmt.Errorf("emu: check: divergence at entry %d: trace %+v, architectural %+v", i, want, got)
+		}
+	}
+	// Every provided entry matched; a trace produced under an instruction
+	// cap is a verified prefix of the architectural execution.
+	return nil
+}

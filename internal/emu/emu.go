@@ -1,0 +1,270 @@
+// Package emu implements the functional (architectural) emulator for the
+// repository's MIPS-like ISA. It plays the role of the paper's architectural
+// simulator: it defines correct execution, and its retired instruction
+// stream is the dynamic trace that drives the timing models and trains the
+// dynamic reconvergence predictor.
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Config controls one emulation run.
+type Config struct {
+	// MaxInstrs caps the number of retired instructions (0 means the
+	// DefaultMaxInstrs safety cap). The paper runs 100M instructions per
+	// benchmark; the workloads here are sized to finish under the cap.
+	MaxInstrs int
+	// StackTop initializes $sp; 0 selects isa.DefaultStackTop.
+	StackTop uint64
+	// Record disables trace recording when false... (zero value records).
+	NoTrace bool
+}
+
+// DefaultMaxInstrs is the safety cap on retired instructions.
+const DefaultMaxInstrs = 4_000_000
+
+// Machine is the architectural state of one emulated program.
+type Machine struct {
+	Prog   *isa.Program
+	Regs   [isa.NumRegs]int64
+	Mem    *Memory
+	PC     uint64
+	Halted bool
+	Count  int64 // retired instructions
+}
+
+// New creates a machine with the program image loaded and the ABI state
+// (entry PC, stack pointer, return address) initialized. The return address
+// is set to a halt-trampoline so that a bare `ret` from main halts cleanly.
+func New(p *isa.Program, stackTop uint64) *Machine {
+	if stackTop == 0 {
+		stackTop = isa.DefaultStackTop
+	}
+	m := &Machine{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	m.Mem.LoadImage(p.DataBase, p.Data)
+	m.Regs[isa.SP] = int64(stackTop)
+	m.Regs[isa.GP] = int64(p.DataBase)
+	return m
+}
+
+// Step executes one instruction and appends its trace entry to tr (when tr
+// is non-nil). It returns an error on architectural faults: executing
+// outside the code segment or unknown opcodes.
+func (m *Machine) Step(tr *trace.Trace) error {
+	if m.Halted {
+		return nil
+	}
+	inst, ok := m.Prog.InstAt(m.PC)
+	if !ok {
+		return fmt.Errorf("emu: PC 0x%x outside code segment after %d instructions", m.PC, m.Count)
+	}
+	pc := m.PC
+	next := pc + isa.InstSize
+	var e trace.Entry
+	e.PC = pc
+	e.Op = inst.Op
+
+	rs, rt := m.Regs[inst.Rs], m.Regs[inst.Rt]
+	var result int64
+	writeDst := false
+
+	switch inst.Op {
+	case isa.OpNOP:
+	case isa.OpHALT:
+		m.Halted = true
+	case isa.OpADD:
+		result, writeDst = rs+rt, true
+	case isa.OpSUB:
+		result, writeDst = rs-rt, true
+	case isa.OpAND:
+		result, writeDst = rs&rt, true
+	case isa.OpOR:
+		result, writeDst = rs|rt, true
+	case isa.OpXOR:
+		result, writeDst = rs^rt, true
+	case isa.OpNOR:
+		result, writeDst = ^(rs | rt), true
+	case isa.OpSLT:
+		result, writeDst = b2i(rs < rt), true
+	case isa.OpSLTU:
+		result, writeDst = b2i(uint64(rs) < uint64(rt)), true
+	case isa.OpSLLV:
+		result, writeDst = rs<<(uint64(rt)&63), true
+	case isa.OpSRLV:
+		result, writeDst = int64(uint64(rs)>>(uint64(rt)&63)), true
+	case isa.OpSRAV:
+		result, writeDst = rs>>(uint64(rt)&63), true
+	case isa.OpMUL:
+		result, writeDst = rs*rt, true
+	case isa.OpDIV:
+		if rt == 0 {
+			result = 0
+		} else {
+			result = rs / rt
+		}
+		writeDst = true
+	case isa.OpREM:
+		if rt == 0 {
+			result = 0
+		} else {
+			result = rs % rt
+		}
+		writeDst = true
+	case isa.OpADDI:
+		result, writeDst = rs+inst.Imm, true
+	case isa.OpANDI:
+		result, writeDst = rs&inst.Imm, true
+	case isa.OpORI:
+		result, writeDst = rs|inst.Imm, true
+	case isa.OpXORI:
+		result, writeDst = rs^inst.Imm, true
+	case isa.OpSLTI:
+		result, writeDst = b2i(rs < inst.Imm), true
+	case isa.OpSLL:
+		result, writeDst = rs<<(uint64(inst.Imm)&63), true
+	case isa.OpSRL:
+		result, writeDst = int64(uint64(rs)>>(uint64(inst.Imm)&63)), true
+	case isa.OpSRA:
+		result, writeDst = rs>>(uint64(inst.Imm)&63), true
+	case isa.OpLUI:
+		result, writeDst = inst.Imm<<16, true
+	case isa.OpLI:
+		result, writeDst = inst.Imm, true
+
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLW, isa.OpLD:
+		addr := uint64(rs + inst.Imm)
+		w := inst.MemWidth()
+		v := m.Mem.Read(addr, w)
+		switch inst.Op {
+		case isa.OpLB:
+			result = int64(int8(v))
+		case isa.OpLBU:
+			result = int64(v)
+		case isa.OpLH:
+			result = int64(int16(v))
+		case isa.OpLW:
+			result = int64(int32(v))
+		case isa.OpLD:
+			result = int64(v)
+		}
+		writeDst = true
+		e.Addr, e.MemW = addr, uint8(w)
+		e.Flags |= trace.FlagLoad
+
+	case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+		addr := uint64(rs + inst.Imm)
+		w := inst.MemWidth()
+		m.Mem.Write(addr, w, uint64(rt))
+		e.Addr, e.MemW = addr, uint8(w)
+		e.Flags |= trace.FlagStore
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ, isa.OpBLTZ, isa.OpBGEZ:
+		taken := false
+		switch inst.Op {
+		case isa.OpBEQ:
+			taken = rs == rt
+		case isa.OpBNE:
+			taken = rs != rt
+		case isa.OpBLEZ:
+			taken = rs <= 0
+		case isa.OpBGTZ:
+			taken = rs > 0
+		case isa.OpBLTZ:
+			taken = rs < 0
+		case isa.OpBGEZ:
+			taken = rs >= 0
+		}
+		e.Flags |= trace.FlagCondBranch
+		if taken {
+			e.Flags |= trace.FlagTaken
+			next = uint64(inst.Imm)
+		}
+
+	case isa.OpJ:
+		next = uint64(inst.Imm)
+	case isa.OpJAL:
+		m.Regs[isa.RA] = int64(next)
+		next = uint64(inst.Imm)
+		e.Flags |= trace.FlagCall
+	case isa.OpJR:
+		next = uint64(rs)
+		e.Flags |= trace.FlagIndirect
+		if inst.IsReturn() {
+			e.Flags |= trace.FlagReturn
+		}
+	case isa.OpJALR:
+		link := int64(next)
+		next = uint64(rs)
+		if inst.Rd != isa.Zero {
+			m.Regs[inst.Rd] = link
+		}
+		e.Flags |= trace.FlagCall | trace.FlagIndirect
+
+	default:
+		return fmt.Errorf("emu: invalid opcode %v at PC 0x%x", inst.Op, pc)
+	}
+
+	if writeDst && inst.Rd != isa.Zero {
+		m.Regs[inst.Rd] = result
+	}
+
+	if tr != nil {
+		if d, ok := inst.Dst(); ok {
+			e.Dst = d
+			e.Flags |= trace.FlagHasDst
+		}
+		var srcs [4]isa.Reg
+		ss := inst.Srcs(srcs[:0])
+		// The ISA has at most two register sources.
+		for k, r := range ss {
+			if k < 2 {
+				e.Srcs[k] = r
+			}
+		}
+		e.NSrc = uint8(len(ss))
+		if m.Halted {
+			e.Next = pc
+		} else {
+			e.Next = next
+		}
+		tr.Entries = append(tr.Entries, e)
+	}
+
+	m.PC = next
+	m.Count++
+	return nil
+}
+
+// Run executes the program to completion (halt) or to the instruction cap
+// and returns the retired trace.
+func Run(p *isa.Program, cfg Config) (*trace.Trace, error) {
+	max := cfg.MaxInstrs
+	if max <= 0 {
+		max = DefaultMaxInstrs
+	}
+	m := New(p, cfg.StackTop)
+	var tr *trace.Trace
+	if !cfg.NoTrace {
+		tr = &trace.Trace{Entries: make([]trace.Entry, 0, 1<<16)}
+	}
+	for !m.Halted && m.Count < int64(max) {
+		if err := m.Step(tr); err != nil {
+			return tr, err
+		}
+	}
+	if !m.Halted {
+		return tr, fmt.Errorf("emu: instruction cap %d reached without halt (PC 0x%x)", max, m.PC)
+	}
+	return tr, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

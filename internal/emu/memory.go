@@ -1,0 +1,71 @@
+package emu
+
+// pageBits/pageSize define the sparse memory page granularity.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Memory is a sparse, demand-paged byte-addressable memory. The zero value
+// is an empty memory; unwritten bytes read as zero, matching a zeroed
+// process image.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageSize]byte{}}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (m *Memory) Load8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Store8 stores b at addr.
+func (m *Memory) Store8(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read returns width bytes at addr as a little-endian unsigned integer.
+// width must be 1, 2, 4, or 8.
+func (m *Memory) Read(addr uint64, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v |= uint64(m.Load8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low width bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		m.Store8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// LoadImage copies data into memory starting at base.
+func (m *Memory) LoadImage(base uint64, data []byte) {
+	for i, b := range data {
+		m.Store8(base+uint64(i), b)
+	}
+}
+
+// Footprint returns the number of resident pages, for tests and stats.
+func (m *Memory) Footprint() int { return len(m.pages) }

@@ -1,0 +1,357 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section as text tables: Figure 5 (static spawn-type
+// distribution), Figure 8 (pipeline parameters), Figure 9 (individual
+// heuristic policies), Figure 10 (heuristic combinations), Figure 11
+// (leave-one-category-out losses), and Figure 12 (dynamic reconvergence
+// prediction). See EXPERIMENTS.md for paper-vs-measured comparisons.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Benches returns the prepared benchmarks in figure order, preparing them
+// in parallel on first use.
+func Benches() ([]*speculate.Bench, error) {
+	names := speculate.WorkloadNames()
+	out := make([]*speculate.Bench, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = speculate.Load(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runGrid simulates every (bench, column) pair in parallel. run must be
+// goroutine-safe across distinct pairs.
+func runGrid(benches []*speculate.Bench, cols int,
+	run func(b *speculate.Bench, col int) (machine.Result, error)) ([][]machine.Result, error) {
+
+	res := make([][]machine.Result, len(benches))
+	errs := make([]error, len(benches)*cols)
+	for i := range res {
+		res[i] = make([]machine.Result, cols)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, b := range benches {
+		for c := 0; c < cols; c++ {
+			wg.Add(1)
+			go func(i, c int, b *speculate.Bench) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				res[i][c], errs[i*cols+c] = run(b, c)
+			}(i, c, b)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// baselines runs the superscalar for every bench, in parallel.
+func baselines(benches []*speculate.Bench) ([]machine.Result, error) {
+	grid, err := runGrid(benches, 1, func(b *speculate.Bench, _ int) (machine.Result, error) {
+		return b.RunSuperscalar()
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]machine.Result, len(benches))
+	for i := range grid {
+		out[i] = grid[i][0]
+	}
+	return out, nil
+}
+
+// SpeedupTable is a policies × benchmarks speedup grid (percent over the
+// superscalar), with the superscalar IPC per benchmark, as in Figures 9,
+// 10 and 12.
+type SpeedupTable struct {
+	Title    string
+	Benches  []string
+	Policies []string
+	BaseIPC  []float64
+	// Speedup[p][b] is the percent speedup of policy p on bench b.
+	Speedup [][]float64
+	// Results[p][b] keeps the full machine results for deeper inspection.
+	Results [][]machine.Result
+	Base    []machine.Result
+}
+
+// Average returns the mean speedup of policy p across benchmarks.
+func (t *SpeedupTable) Average(p int) float64 {
+	var s float64
+	for _, v := range t.Speedup[p] {
+		s += v
+	}
+	return s / float64(len(t.Speedup[p]))
+}
+
+// PolicyRow returns the speedups of the named policy.
+func (t *SpeedupTable) PolicyRow(name string) ([]float64, bool) {
+	for i, p := range t.Policies {
+		if p == name {
+			return t.Speedup[i], true
+		}
+	}
+	return nil, false
+}
+
+// Format renders the table with benchmarks as rows and policies as columns,
+// plus an Average row — the textual equivalent of the paper's bar charts.
+func (t *SpeedupTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-11s %7s", "bench", "ss-IPC")
+	for _, p := range t.Policies {
+		fmt.Fprintf(&b, " %*s", colWidth(p), p)
+	}
+	b.WriteByte('\n')
+	for bi, name := range t.Benches {
+		fmt.Fprintf(&b, "%-11s %7.2f", name, t.BaseIPC[bi])
+		for pi, p := range t.Policies {
+			fmt.Fprintf(&b, " %*.1f", colWidth(p), t.Speedup[pi][bi])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-11s %7s", "Average", "")
+	for pi, p := range t.Policies {
+		fmt.Fprintf(&b, " %*.1f", colWidth(p), t.Average(pi))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func colWidth(name string) int {
+	if len(name) < 8 {
+		return 8
+	}
+	return len(name)
+}
+
+// speedupTable runs the given policy columns over all benchmarks.
+func speedupTable(title string, policies []core.Policy, extra func(b *speculate.Bench) (machine.Result, error), extraName string) (*SpeedupTable, error) {
+	benches, err := Benches()
+	if err != nil {
+		return nil, err
+	}
+	base, err := baselines(benches)
+	if err != nil {
+		return nil, err
+	}
+	cols := len(policies)
+	if extra != nil {
+		cols++
+	}
+	grid, err := runGrid(benches, cols, func(b *speculate.Bench, c int) (machine.Result, error) {
+		if c < len(policies) {
+			return b.RunPolicy(policies[c], machine.PolyFlowConfig())
+		}
+		return extra(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &SpeedupTable{Title: title}
+	for i, b := range benches {
+		t.Benches = append(t.Benches, b.Name)
+		t.BaseIPC = append(t.BaseIPC, base[i].IPC)
+	}
+	t.Base = base
+	for c := 0; c < cols; c++ {
+		name := extraName
+		if c < len(policies) {
+			name = policies[c].Name
+		}
+		t.Policies = append(t.Policies, name)
+		row := make([]float64, len(benches))
+		resRow := make([]machine.Result, len(benches))
+		for i := range benches {
+			row[i] = speculate.SpeedupPct(base[i], grid[i][c])
+			resRow[i] = grid[i][c]
+		}
+		t.Speedup = append(t.Speedup, row)
+		t.Results = append(t.Results, resRow)
+	}
+	return t, nil
+}
+
+// Figure9 evaluates the individual heuristic policies and full
+// postdominator spawning.
+func Figure9() (*SpeedupTable, error) {
+	return speedupTable(
+		"Figure 9: Individual heuristic policies (speedup % over superscalar)",
+		core.IndividualPolicies(), nil, "")
+}
+
+// Figure10 evaluates the heuristic combination policies against postdoms.
+func Figure10() (*SpeedupTable, error) {
+	return speedupTable(
+		"Figure 10: Combination heuristics (speedup % over superscalar)",
+		core.CombinationPolicies(), nil, "")
+}
+
+// Figure12 evaluates dynamic reconvergence prediction against
+// compiler-generated postdominators.
+func Figure12() (*SpeedupTable, error) {
+	return speedupTable(
+		"Figure 12: Reconvergence-predictor spawning vs compiler postdominators",
+		[]core.Policy{core.PolicyPostdoms},
+		func(b *speculate.Bench) (machine.Result, error) {
+			return b.RunRecPred(machine.PolyFlowConfig())
+		}, "rec_pred")
+}
+
+// LossTable is the Figure 11 result: per-benchmark loss in percent speedup
+// (normalized to superscalar IPC) when one spawn category is excluded.
+type LossTable struct {
+	Benches    []string
+	Exclusions []string
+	// Loss[e][b] = (IPC_postdoms - IPC_excluded) / IPC_superscalar * 100.
+	Loss [][]float64
+}
+
+// Average returns the mean loss for exclusion e.
+func (t *LossTable) Average(e int) float64 {
+	var s float64
+	for _, v := range t.Loss[e] {
+		s += v
+	}
+	return s / float64(len(t.Loss[e]))
+}
+
+// Format renders the loss table.
+func (t *LossTable) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: Loss in speedup vs full postdominator set (normalized to superscalar IPC)\n")
+	fmt.Fprintf(&b, "%-11s", "bench")
+	for _, e := range t.Exclusions {
+		fmt.Fprintf(&b, " %*s", colWidth(e), e)
+	}
+	b.WriteByte('\n')
+	for bi, name := range t.Benches {
+		fmt.Fprintf(&b, "%-11s", name)
+		for ei, e := range t.Exclusions {
+			fmt.Fprintf(&b, " %*.1f", colWidth(e), t.Loss[ei][bi])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-11s", "Average")
+	for ei, e := range t.Exclusions {
+		fmt.Fprintf(&b, " %*.1f", colWidth(e), t.Average(ei))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Figure11 measures the loss from excluding each spawn category.
+func Figure11() (*LossTable, error) {
+	benches, err := Benches()
+	if err != nil {
+		return nil, err
+	}
+	base, err := baselines(benches)
+	if err != nil {
+		return nil, err
+	}
+	policies := append([]core.Policy{core.PolicyPostdoms}, core.ExclusionPolicies()...)
+	grid, err := runGrid(benches, len(policies), func(b *speculate.Bench, c int) (machine.Result, error) {
+		return b.RunPolicy(policies[c], machine.PolyFlowConfig())
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &LossTable{}
+	for _, b := range benches {
+		t.Benches = append(t.Benches, b.Name)
+	}
+	for e := 1; e < len(policies); e++ {
+		t.Exclusions = append(t.Exclusions, policies[e].Name)
+		row := make([]float64, len(benches))
+		for i := range benches {
+			row[i] = speculate.LossPct(base[i], grid[i][0], grid[i][e])
+		}
+		t.Loss = append(t.Loss, row)
+	}
+	return t, nil
+}
+
+// Fig5Row is one benchmark's static spawn-type distribution.
+type Fig5Row struct {
+	Bench  string
+	Counts [core.NumKinds]int // KindLoop excluded from Total
+	Total  int                // total static postdominator spawn points
+}
+
+// Figure5 computes the static distribution of control-equivalent task
+// types per benchmark.
+func Figure5() ([]Fig5Row, error) {
+	benches, err := Benches()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, b := range benches {
+		r := Fig5Row{Bench: b.Name}
+		for _, s := range b.Analysis.Spawns {
+			r.Counts[s.Kind]++
+			if s.Kind != core.KindLoop {
+				r.Total++
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FormatFigure5 renders the distribution table with percentages, as in the
+// paper's stacked bars (total static spawns shown per benchmark).
+func FormatFigure5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Static distribution of control-equivalent task types\n")
+	fmt.Fprintf(&b, "%-11s %8s %8s %8s %8s %8s\n", "bench", "LoopFT%", "ProcFT%", "Hammock%", "Other%", "total")
+	for _, r := range rows {
+		pct := func(k core.Kind) float64 {
+			if r.Total == 0 {
+				return 0
+			}
+			return 100 * float64(r.Counts[k]) / float64(r.Total)
+		}
+		fmt.Fprintf(&b, "%-11s %8.1f %8.1f %8.1f %8.1f %8d\n", r.Bench,
+			pct(core.KindLoopFT), pct(core.KindProcFT), pct(core.KindHammock), pct(core.KindOther), r.Total)
+	}
+	return b.String()
+}
+
+// Figure8 renders the pipeline parameter table.
+func Figure8() string {
+	return "Figure 8: Pipeline parameters\n" + machine.PolyFlowConfig().ParameterTable()
+}

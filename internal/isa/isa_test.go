@@ -1,0 +1,170 @@
+package isa
+
+import "testing"
+
+func TestRegNames(t *testing.T) {
+	cases := map[string]Reg{
+		"zero": Zero, "sp": SP, "ra": RA, "t0": T0, "s7": S7, "a0": A0, "v0": V0,
+		"r0": 0, "r31": 31,
+	}
+	for name, want := range cases {
+		got, ok := RegByName(name)
+		if !ok || got != want {
+			t.Errorf("RegByName(%q) = %v,%v want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Errorf("bogus register accepted")
+	}
+	if _, ok := RegByName("r32"); ok {
+		t.Errorf("r32 accepted")
+	}
+	if Zero.String() != "$zero" || RA.String() != "$ra" {
+		t.Errorf("register String() wrong: %v %v", Zero, RA)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		cond bool
+		call bool
+		ret  bool
+		load bool
+		st   bool
+		ends bool
+	}{
+		{Inst{Op: OpADD}, false, false, false, false, false, false},
+		{Inst{Op: OpBEQ}, true, false, false, false, false, true},
+		{Inst{Op: OpBGEZ}, true, false, false, false, false, true},
+		{Inst{Op: OpJAL}, false, true, false, false, false, true},
+		{Inst{Op: OpJALR, Rd: RA, Rs: T0}, false, true, false, false, false, true},
+		{Inst{Op: OpJR, Rs: RA}, false, false, true, false, false, true},
+		{Inst{Op: OpJR, Rs: T0}, false, false, false, false, false, true},
+		{Inst{Op: OpLW}, false, false, false, true, false, false},
+		{Inst{Op: OpSD}, false, false, false, false, true, false},
+		{Inst{Op: OpHALT}, false, false, false, false, false, true},
+		{Inst{Op: OpJ}, false, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.in.IsCondBranch() != c.cond || c.in.IsCall() != c.call ||
+			c.in.IsReturn() != c.ret || c.in.IsLoad() != c.load ||
+			c.in.IsStore() != c.st || c.in.EndsBlock() != c.ends {
+			t.Errorf("classification wrong for %v", c.in)
+		}
+	}
+}
+
+func TestMemWidth(t *testing.T) {
+	widths := map[Op]int{
+		OpLB: 1, OpLBU: 1, OpSB: 1, OpLH: 2, OpSH: 2,
+		OpLW: 4, OpSW: 4, OpLD: 8, OpSD: 8, OpADD: 0, OpBEQ: 0,
+	}
+	for op, want := range widths {
+		if got := (Inst{Op: op}).MemWidth(); got != want {
+			t.Errorf("MemWidth(%v) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestDstAndSrcs(t *testing.T) {
+	var buf [4]Reg
+
+	add := Inst{Op: OpADD, Rd: T0, Rs: T1, Rt: T2}
+	if d, ok := add.Dst(); !ok || d != T0 {
+		t.Errorf("add dst wrong")
+	}
+	if s := add.Srcs(buf[:0]); len(s) != 2 || s[0] != T1 || s[1] != T2 {
+		t.Errorf("add srcs wrong: %v", s)
+	}
+
+	// Writes to $zero have no architectural destination.
+	zadd := Inst{Op: OpADD, Rd: Zero, Rs: T1, Rt: T2}
+	if _, ok := zadd.Dst(); ok {
+		t.Errorf("write to $zero reported a destination")
+	}
+
+	// Reads of $zero are omitted.
+	li := Inst{Op: OpADDI, Rd: T0, Rs: Zero, Imm: 5}
+	if s := li.Srcs(buf[:0]); len(s) != 0 {
+		t.Errorf("read of $zero reported: %v", s)
+	}
+
+	store := Inst{Op: OpSD, Rs: SP, Rt: T3, Imm: 8}
+	if _, ok := store.Dst(); ok {
+		t.Errorf("store has a destination")
+	}
+	if s := store.Srcs(buf[:0]); len(s) != 2 {
+		t.Errorf("store srcs wrong: %v", s)
+	}
+
+	jal := Inst{Op: OpJAL, Imm: 0x1000}
+	if d, ok := jal.Dst(); !ok || d != RA {
+		t.Errorf("jal must write $ra")
+	}
+
+	jalr := Inst{Op: OpJALR, Rd: RA, Rs: T9}
+	if s := jalr.Srcs(buf[:0]); len(s) != 1 || s[0] != T9 {
+		t.Errorf("jalr srcs wrong: %v", s)
+	}
+
+	load := Inst{Op: OpLD, Rd: T0, Rs: SP}
+	if s := load.Srcs(buf[:0]); len(s) != 1 || s[0] != SP {
+		t.Errorf("load srcs wrong: %v", s)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := map[string]Inst{
+		"add $t0, $t1, $t2": {Op: OpADD, Rd: T0, Rs: T1, Rt: T2},
+		"addi $t0, $t1, -4": {Op: OpADDI, Rd: T0, Rs: T1, Imm: -4},
+		"ld $t0, 8($sp)":    {Op: OpLD, Rd: T0, Rs: SP, Imm: 8},
+		"sd $t1, 0($sp)":    {Op: OpSD, Rt: T1, Rs: SP, Imm: 0},
+		"beq $t0, $t1, 0x1000": {
+			Op: OpBEQ, Rs: T0, Rt: T1, Imm: 0x1000},
+		"j 0x2000": {Op: OpJ, Imm: 0x2000},
+		"jr $ra":   {Op: OpJR, Rs: RA},
+		"nop":      {Op: OpNOP},
+	}
+	for want, inst := range cases {
+		if got := inst.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestProgramAddressing(t *testing.T) {
+	p := &Program{
+		Code:     make([]Inst, 4),
+		CodeBase: 0x1000,
+		Funcs:    []uint64{0x1000, 0x1008},
+		Symbols:  map[uint64]string{0x1000: "main", 0x1008: "f"},
+	}
+	if p.PCOf(2) != 0x1008 {
+		t.Fatalf("PCOf wrong")
+	}
+	if p.IndexOf(0x1008) != 2 {
+		t.Fatalf("IndexOf wrong")
+	}
+	if p.IndexOf(0x1002) != -1 || p.IndexOf(0xfff) != -1 || p.IndexOf(0x2000) != -1 {
+		t.Fatalf("IndexOf accepts bad PCs")
+	}
+	if _, ok := p.InstAt(0x100c); !ok {
+		t.Fatalf("InstAt rejects valid PC")
+	}
+	if f, ok := p.FuncOf(0x1004); !ok || f != 0x1000 {
+		t.Fatalf("FuncOf(0x1004) = %x,%v", f, ok)
+	}
+	if f, ok := p.FuncOf(0x100c); !ok || f != 0x1008 {
+		t.Fatalf("FuncOf(0x100c) = %x,%v", f, ok)
+	}
+	if end := p.FuncEnd(0x1000); end != 0x1008 {
+		t.Fatalf("FuncEnd(main) = %x", end)
+	}
+	if end := p.FuncEnd(0x1008); end != 0x1010 {
+		t.Fatalf("FuncEnd(f) = %x", end)
+	}
+	if s := p.SymbolFor(0x100c); s != "f+0x4" {
+		t.Fatalf("SymbolFor = %q", s)
+	}
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Default load addresses for the two segments of an assembled program.
+const (
+	DefaultCodeBase uint64 = 0x1000
+	DefaultDataBase uint64 = 0x100000
+	// DefaultStackTop is where the emulator initializes $sp.
+	DefaultStackTop uint64 = 0x7ff000
+)
+
+// Program is a fully linked program image: a code segment of decoded
+// instructions, an initialized data segment, and the symbol information the
+// static analyses consume (labels, function boundaries, and the possible
+// targets of indirect jumps — the profile-side information the paper's
+// compiler embeds in the binary).
+type Program struct {
+	Code     []Inst
+	CodeBase uint64
+	Data     []byte
+	DataBase uint64
+
+	// Labels maps label name to address (code or data).
+	Labels map[string]uint64
+	// Symbols is the reverse map for code addresses that had labels.
+	Symbols map[uint64]string
+	// Funcs lists the entry PCs of the program's functions, sorted.
+	Funcs []uint64
+	// JumpTargets lists the possible destinations of each indirect jump,
+	// keyed by the PC of the jr/jalr instruction. Populated from jump-table
+	// annotations at assembly time and optionally augmented by profiling.
+	JumpTargets map[uint64][]uint64
+	// Entry is the PC execution starts at.
+	Entry uint64
+}
+
+// PCOf returns the PC of code index i.
+func (p *Program) PCOf(i int) uint64 { return p.CodeBase + uint64(i)*InstSize }
+
+// IndexOf returns the code index of PC, or -1 if the PC is outside the code
+// segment or misaligned.
+func (p *Program) IndexOf(pc uint64) int {
+	if pc < p.CodeBase || (pc-p.CodeBase)%InstSize != 0 {
+		return -1
+	}
+	i := int((pc - p.CodeBase) / InstSize)
+	if i >= len(p.Code) {
+		return -1
+	}
+	return i
+}
+
+// InstAt returns the instruction at pc. It returns ok=false for PCs outside
+// the code segment.
+func (p *Program) InstAt(pc uint64) (Inst, bool) {
+	i := p.IndexOf(pc)
+	if i < 0 {
+		return Inst{}, false
+	}
+	return p.Code[i], true
+}
+
+// FuncOf returns the entry PC of the function containing pc, assuming
+// functions are laid out contiguously in Funcs order. ok is false when pc
+// precedes the first function.
+func (p *Program) FuncOf(pc uint64) (uint64, bool) {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i] > pc })
+	if i == 0 {
+		return 0, false
+	}
+	return p.Funcs[i-1], true
+}
+
+// FuncEnd returns the first PC past the function starting at entry.
+func (p *Program) FuncEnd(entry uint64) uint64 {
+	i := sort.Search(len(p.Funcs), func(i int) bool { return p.Funcs[i] > entry })
+	if i < len(p.Funcs) {
+		return p.Funcs[i]
+	}
+	return p.CodeBase + uint64(len(p.Code))*InstSize
+}
+
+// SymbolFor returns a human-readable name for a code address: the exact
+// label if one exists, otherwise "func+0xoff" when inside a known function,
+// otherwise the hex address.
+func (p *Program) SymbolFor(pc uint64) string {
+	if s, ok := p.Symbols[pc]; ok {
+		return s
+	}
+	if f, ok := p.FuncOf(pc); ok {
+		if s, ok := p.Symbols[f]; ok {
+			return fmt.Sprintf("%s+0x%x", s, pc-f)
+		}
+	}
+	return fmt.Sprintf("0x%x", pc)
+}
+
+// Disassemble renders the whole code segment, one instruction per line,
+// with label annotations.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, inst := range p.Code {
+		pc := p.PCOf(i)
+		if s, ok := p.Symbols[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", s)
+		}
+		fmt.Fprintf(&b, "  0x%06x: %s\n", pc, inst)
+	}
+	return b.String()
+}

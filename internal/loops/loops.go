@@ -1,0 +1,162 @@
+// Package loops detects natural loops (via dominator-identified back edges)
+// and builds the loop nesting forest. The spawn-point classifier uses it to
+// identify loop branches (latches and exit branches) and loop fall-throughs,
+// and the loop-iteration spawn policy uses headers and latch blocks
+// (Section 2.3 of the paper: spawn the last basic block of the loop from
+// the loop entry).
+package loops
+
+import (
+	"sort"
+
+	"repro/internal/dom"
+)
+
+// Loop is one natural loop. Loops sharing a header are merged, as usual.
+type Loop struct {
+	// Header is the loop header block.
+	Header int
+	// Latches are the sources of back edges into Header.
+	Latches []int
+	// Body is the set of blocks in the loop, including Header and Latches.
+	Body map[int]bool
+	// Parent is the index (into Forest.Loops) of the innermost enclosing
+	// loop, or -1.
+	Parent int
+	// Depth is the nesting depth (outermost = 1).
+	Depth int
+}
+
+// Contains reports whether block v belongs to the loop.
+func (l *Loop) Contains(v int) bool { return l.Body[v] }
+
+// ExitBlocks returns the loop blocks having at least one successor outside
+// the loop, sorted.
+func (l *Loop) ExitBlocks(succs [][]int) []int {
+	var out []int
+	for v := range l.Body {
+		for _, w := range succs[v] {
+			if !l.Body[w] {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Forest is the set of loops of one CFG with nesting information.
+type Forest struct {
+	Loops []*Loop
+	// InnermostOf[v] is the index of the innermost loop containing v, or -1.
+	InnermostOf []int
+}
+
+// LoopHeaderOf reports whether v is a loop header and returns its loop.
+func (f *Forest) LoopHeaderOf(v int) (*Loop, bool) {
+	for _, l := range f.Loops {
+		if l.Header == v {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// IsBackEdge reports whether the edge from→to is a back edge of some
+// detected loop.
+func (f *Forest) IsBackEdge(from, to int) bool {
+	for _, l := range f.Loops {
+		if l.Header == to {
+			for _, lt := range l.Latches {
+				if lt == from {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Find detects the natural loops of the graph given by succs using its
+// dominator tree (rooted at the CFG entry).
+func Find(succs [][]int, domTree *dom.Tree) *Forest {
+	n := len(succs)
+	byHeader := map[int]*Loop{}
+	preds := dom.Reverse(succs)
+
+	for t := 0; t < n; t++ {
+		if !domTree.Reachable(t) {
+			continue
+		}
+		for _, h := range succs[t] {
+			if !domTree.Dominates(h, t) {
+				continue // not a back edge
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Body: map[int]bool{h: true}, Parent: -1}
+				byHeader[h] = l
+			}
+			l.Latches = append(l.Latches, t)
+			// Natural loop body: reverse reachability from the latch,
+			// stopping at the header (already in Body).
+			stack := []int{t}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Body[v] {
+					continue
+				}
+				l.Body[v] = true
+				for _, p := range preds[v] {
+					if !l.Body[p] && domTree.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	f := &Forest{InnermostOf: make([]int, n)}
+	for i := range f.InnermostOf {
+		f.InnermostOf[i] = -1
+	}
+	headers := make([]int, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	for _, h := range headers {
+		f.Loops = append(f.Loops, byHeader[h])
+	}
+
+	// Nesting: loop A is nested in B when B contains A's header and A != B.
+	// Parent = smallest containing loop.
+	for i, a := range f.Loops {
+		best, bestSize := -1, 1<<62
+		for j, b := range f.Loops {
+			if i == j || !b.Body[a.Header] || len(b.Body) <= len(a.Body) {
+				continue
+			}
+			if len(b.Body) < bestSize {
+				best, bestSize = j, len(b.Body)
+			}
+		}
+		a.Parent = best
+	}
+	for i, l := range f.Loops {
+		d := 1
+		for p := l.Parent; p >= 0; p = f.Loops[p].Parent {
+			d++
+		}
+		l.Depth = d
+		for v := range l.Body {
+			cur := f.InnermostOf[v]
+			if cur == -1 || len(f.Loops[cur].Body) > len(l.Body) {
+				f.InnermostOf[v] = i
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,134 @@
+package loops
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+)
+
+func find(succs [][]int) *Forest {
+	return Find(succs, dom.Compute(succs, 0))
+}
+
+func TestSimpleLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1, 2 -> 3
+	succs := [][]int{{1}, {2}, {1, 3}, {}}
+	f := find(succs)
+	if len(f.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(f.Loops))
+	}
+	l := f.Loops[0]
+	if l.Header != 1 || len(l.Latches) != 1 || l.Latches[0] != 2 {
+		t.Fatalf("loop structure wrong: %+v", l)
+	}
+	if !l.Contains(1) || !l.Contains(2) || l.Contains(0) || l.Contains(3) {
+		t.Fatalf("loop body wrong: %v", l.Body)
+	}
+	exits := l.ExitBlocks(succs)
+	if len(exits) != 1 || exits[0] != 2 {
+		t.Fatalf("loop exits = %v, want [2]", exits)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// outer: 1..4, inner: 2..3
+	// 0 -> 1 -> 2 -> 3 -> 2 (inner back), 3 -> 4 -> 1 (outer back), 4 -> 5
+	succs := [][]int{{1}, {2}, {3}, {2, 4}, {1, 5}, {}}
+	f := find(succs)
+	if len(f.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(f.Loops))
+	}
+	var inner, outer *Loop
+	for _, l := range f.Loops {
+		if l.Header == 2 {
+			inner = l
+		}
+		if l.Header == 1 {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatalf("missing loops: %+v", f.Loops)
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("depths inner=%d outer=%d, want 2 and 1", inner.Depth, outer.Depth)
+	}
+	if f.Loops[inner.Parent] != outer {
+		t.Fatalf("inner loop's parent is not the outer loop")
+	}
+	if !outer.Contains(2) || !outer.Contains(3) || inner.Contains(4) {
+		t.Fatalf("bodies wrong: inner=%v outer=%v", inner.Body, outer.Body)
+	}
+	// InnermostOf: 3 belongs to the inner loop, 4 to the outer.
+	if f.Loops[f.InnermostOf[3]] != inner || f.Loops[f.InnermostOf[4]] != outer {
+		t.Fatalf("InnermostOf wrong: %v", f.InnermostOf)
+	}
+	if f.InnermostOf[0] != -1 || f.InnermostOf[5] != -1 {
+		t.Fatalf("non-loop blocks must have no innermost loop")
+	}
+}
+
+func TestMultipleLatchesMerge(t *testing.T) {
+	// Two back edges to the same header merge into one natural loop:
+	// 0 -> 1 -> 2 -> 1 and 1 -> 3 -> 1, 2 -> 4.
+	succs := [][]int{{1}, {2, 3}, {1, 4}, {1}, {}}
+	f := find(succs)
+	if len(f.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1 merged", len(f.Loops))
+	}
+	if len(f.Loops[0].Latches) != 2 {
+		t.Fatalf("latches = %v, want two", f.Loops[0].Latches)
+	}
+}
+
+func TestIsBackEdge(t *testing.T) {
+	succs := [][]int{{1}, {2}, {1, 3}, {}}
+	f := find(succs)
+	if !f.IsBackEdge(2, 1) {
+		t.Fatalf("2->1 must be a back edge")
+	}
+	if f.IsBackEdge(1, 2) || f.IsBackEdge(2, 3) {
+		t.Fatalf("forward edges misclassified as back edges")
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	succs := [][]int{{1, 2}, {3}, {3}, {}}
+	f := find(succs)
+	if len(f.Loops) != 0 {
+		t.Fatalf("acyclic graph has loops: %+v", f.Loops)
+	}
+}
+
+func TestLoopHeaderOf(t *testing.T) {
+	succs := [][]int{{1}, {2}, {1, 3}, {}}
+	f := find(succs)
+	if _, ok := f.LoopHeaderOf(1); !ok {
+		t.Fatalf("block 1 is a header")
+	}
+	if _, ok := f.LoopHeaderOf(2); ok {
+		t.Fatalf("block 2 is not a header")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	succs := [][]int{{1}, {1, 2}, {}}
+	f := find(succs)
+	if len(f.Loops) != 1 {
+		t.Fatalf("self loop not found")
+	}
+	l := f.Loops[0]
+	if l.Header != 1 || len(l.Body) != 1 || !l.Contains(1) {
+		t.Fatalf("self loop structure wrong: %+v", l)
+	}
+}
+
+// TestUnreachableBackEdge: a cycle not reachable from the entry must not
+// produce a loop (its "back edge" has no dominator relation).
+func TestUnreachableBackEdge(t *testing.T) {
+	succs := [][]int{{1}, {}, {3}, {2}}
+	f := find(succs)
+	if len(f.Loops) != 0 {
+		t.Fatalf("unreachable cycle produced loops: %+v", f.Loops)
+	}
+}

@@ -1,0 +1,1039 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/branchpred"
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Per-instruction pipeline states.
+const (
+	stNone uint8 = iota
+	stFetched
+	stDiverted
+	stInSched
+	stIssued
+	stRetired
+)
+
+const never = int32(-1)
+
+// task is one active PolyFlow task: a contiguous segment of the dynamic
+// trace with its own fetch stream.
+type task struct {
+	id       int
+	start    int // first trace index of the segment
+	end      int // exclusive; -1 while the task is the unbounded tail
+	fetchIdx int
+	dispIdx  int
+	inflight int // fetched and not yet retired
+
+	stallUntil      int64
+	pendingRedirect int // trace index of an unresolved mispredicted branch, -1 if none
+	hist            uint32
+	ras             *branchpred.RAS
+	lastLine        uint64 // last-fetched I-cache line + 1 (0 = none)
+	spawnFrom       uint64 // trigger PC of the spawn that created this task (0 = initial task)
+	blockedSpawn    bool   // a viable spawn was foreclosed by the tail-only rule
+}
+
+func (t *task) fetchDone(traceLen int) bool {
+	if t.end != -1 {
+		return t.fetchIdx >= t.end
+	}
+	return t.fetchIdx >= traceLen
+}
+
+// dqEntry is one diverted instruction waiting for earlier-task producers to
+// dispatch.
+type dqEntry struct {
+	idx   int
+	prods [3]int32
+	n     uint8
+}
+
+type violation struct {
+	load, store int
+	detect      int64
+}
+
+// Stats collects the observable behaviour of one run.
+type Stats struct {
+	Mispredicts      int64
+	SpawnsTaken      int64
+	SpawnsByKind     [core.NumKinds]int64
+	SpawnsRejected   int64
+	Violations       int64
+	SquashedInstrs   int64
+	Diverted         int64
+	TaskCycles       int64 // sum over cycles of active task count
+	PeakTasks        int
+	ICacheMisses     uint64
+	DCacheMisses     uint64
+	L2Misses         uint64
+	ICacheStallCycle int64
+	Foreclosures     int64
+	HintMisses       int64
+	Reclaims         int64
+}
+
+// Result is the outcome of one timing simulation.
+type Result struct {
+	Config  string
+	Cycles  int64
+	Retired int64
+	IPC     float64
+	// IPCSamples holds one retirement-rate sample per SampleInterval
+	// cycles when sampling is enabled.
+	IPCSamples []float64
+	Stats
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d instrs, %d cycles, IPC %.3f (mispredicts %d, spawns %d, squashes %d)",
+		r.Config, r.Retired, r.Cycles, r.IPC, r.Mispredicts, r.SpawnsTaken, r.Violations)
+}
+
+type sim struct {
+	cfg    Config
+	tr     []trace.Entry
+	t      *trace.Trace
+	deps   *trace.Deps
+	src    core.Source
+	gshare *branchpred.Gshare
+	btb    *branchpred.BTB
+	caches *cachesim.Hierarchy
+	ss     *storeSets
+
+	state   []uint8
+	fetchC  []int32
+	dispC   []int32
+	doneC   []int32
+	issueC  []int32
+	memWait []int32 // producer store the load must wait for (synchronized), or -1
+	memSpec []int32 // producer store the load speculates past (unsynchronized), or -1
+
+	tasks      []*task
+	nextTaskID int
+	warmStart  int
+	robUsed    int
+	schedUsed  int
+	sched      []int32 // trace indices in the scheduler, ascending
+	dq         []dqEntry
+	retireIdx  int
+	cycle      int64
+	watch      map[int][]int32
+	viols      []violation
+	profit     map[uint64]int // spawn-point profitability scores
+	hintTags   []uint64       // finite hint cache tags (nil = unmodeled)
+	stats      Stats
+
+	samples       []float64
+	lastSampleRet int
+}
+
+// scoreSpawn applies profitability feedback to a spawn point.
+func (s *sim) scoreSpawn(from uint64, delta int) {
+	if from == 0 {
+		return
+	}
+	v := s.profit[from] + delta
+	if v > 4 {
+		v = 4
+	}
+	if v < -4 {
+		v = -4
+	}
+	s.profit[from] = v
+}
+
+// spawnAllowed consults the profitability table.
+func (s *sim) spawnAllowed(from uint64) bool {
+	return s.profit[from] >= -s.cfg.ProfitPatience
+}
+
+// Run simulates the trace on the configured machine with the given spawn
+// source (nil means no spawning — the superscalar). deps may be nil, in
+// which case it is computed here.
+func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result, error) {
+	if deps == nil {
+		deps = tr.ComputeDeps()
+	}
+	caches := cfg.Caches
+	if caches == nil {
+		caches = cachesim.DefaultHierarchy()
+	}
+	n := tr.Len()
+	s := &sim{
+		cfg:    cfg,
+		tr:     tr.Entries,
+		t:      tr,
+		deps:   deps,
+		src:    src,
+		gshare: branchpred.NewGshare(cfg.GshareLog2, cfg.GshareHistBits),
+		btb:    branchpred.NewBTB(cfg.BTBLog2),
+		caches: caches,
+		ss:     newStoreSets(cfg.StoreSetWays),
+
+		state:   make([]uint8, n),
+		fetchC:  newCycleArr(n),
+		dispC:   newCycleArr(n),
+		doneC:   newCycleArr(n),
+		issueC:  newCycleArr(n),
+		memWait: newCycleArr(n),
+		memSpec: newCycleArr(n),
+		watch:   map[int][]int32{},
+		profit:  map[uint64]int{},
+	}
+	if cfg.HintCacheLog2 > 0 {
+		s.hintTags = make([]uint64, 1<<cfg.HintCacheLog2)
+	}
+	s.tasks = []*task{{
+		id:              0,
+		start:           0,
+		end:             -1,
+		pendingRedirect: -1,
+		ras:             branchpred.NewRAS(cfg.RASDepth),
+	}}
+	s.nextTaskID = 1
+	if w := cfg.WarmupInstrs; w > 0 {
+		if w > n {
+			w = n
+		}
+		s.warmup(w)
+	}
+
+	for s.retireIdx < n {
+		if s.cycle >= cfg.MaxCycles {
+			return s.result(), fmt.Errorf("machine: exceeded MaxCycles=%d at retireIdx=%d/%d",
+				cfg.MaxCycles, s.retireIdx, n)
+		}
+		s.processViolations()
+		s.retire()
+		s.issue()
+		s.moveDivertQueue()
+		s.dispatch()
+		s.fetch()
+		s.stats.TaskCycles += int64(len(s.tasks))
+		if len(s.tasks) > s.stats.PeakTasks {
+			s.stats.PeakTasks = len(s.tasks)
+		}
+		if iv := cfg.SampleInterval; iv > 0 && s.cycle > 0 && s.cycle%iv == 0 {
+			s.samples = append(s.samples, float64(s.retireIdx-s.lastSampleRet)/float64(iv))
+			s.lastSampleRet = s.retireIdx
+		}
+		// Slow profitability recovery: disabled spawn points get periodic
+		// retries rather than being written off forever.
+		if s.cycle&8191 == 0 {
+			for pc, v := range s.profit {
+				if v < 0 {
+					s.profit[pc] = v + 1
+				}
+			}
+		}
+		s.cycle++
+	}
+	return s.result(), nil
+}
+
+func newCycleArr(n int) []int32 {
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = never
+	}
+	return a
+}
+
+func (s *sim) result() Result {
+	s.stats.ICacheMisses = s.caches.L1I.Misses
+	s.stats.DCacheMisses = s.caches.L1D.Misses
+	s.stats.L2Misses = s.caches.L2.Misses
+	r := Result{
+		Config:     s.cfg.Name,
+		Cycles:     s.cycle,
+		Retired:    int64(s.retireIdx - s.warmStart),
+		IPCSamples: s.samples,
+		Stats:      s.stats,
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Retired) / float64(r.Cycles)
+	}
+	return r
+}
+
+// warmup replays the first w trace entries through the caches and branch
+// predictors without timing — the model of the paper's fast-forward through
+// each benchmark's initialization phase. The spawn source (e.g. the
+// dynamic reconvergence predictor) is deliberately NOT trained here: the
+// paper models its warm-up as a real cost.
+func (s *sim) warmup(w int) {
+	var hist uint32
+	var lastLine uint64
+	t := s.tasks[0]
+	for i := 0; i < w; i++ {
+		e := &s.tr[i]
+		line := s.caches.L1I.LineOf(e.PC) + 1
+		if line != lastLine {
+			s.caches.L1I.Access(e.PC)
+			lastLine = line
+		}
+		switch {
+		case e.IsCondBranch():
+			s.gshare.Update(e.PC, hist, e.Taken())
+			hist = s.gshare.PushHistory(hist, e.Taken())
+		case e.IsCall():
+			t.ras.Push(e.PC + isa.InstSize)
+			if e.IsIndirect() {
+				s.btb.Update(e.PC, e.Next)
+			}
+		case e.IsReturn():
+			t.ras.Pop()
+		case e.IsIndirect():
+			s.btb.Update(e.PC, e.Next)
+		}
+		if e.IsLoad() || e.IsStore() {
+			s.caches.L1D.Access(e.Addr)
+		}
+		// Warmed-up instructions count as long retired, so dependence
+		// checks against them succeed immediately.
+		s.state[i] = stRetired
+		s.fetchC[i], s.dispC[i], s.issueC[i], s.doneC[i] = 0, 0, 0, 0
+	}
+	t.start, t.fetchIdx, t.dispIdx = w, w, w
+	t.hist = hist
+	s.retireIdx = w
+	s.warmStart = w
+	s.lastSampleRet = w
+	// Report post-warmup cache statistics only.
+	s.caches.L1I.Accesses, s.caches.L1I.Misses = 0, 0
+	s.caches.L1D.Accesses, s.caches.L1D.Misses = 0, 0
+	s.caches.L2.Accesses, s.caches.L2.Misses = 0, 0
+}
+
+// taskOf returns the active task containing trace index i, or nil.
+func (s *sim) taskOf(i int) *task {
+	for _, t := range s.tasks {
+		if i >= t.start && (t.end == -1 || i < t.end) {
+			return t
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- retire
+
+func (s *sim) retire() {
+	n := len(s.tr)
+	for c := 0; c < s.cfg.CommitWidth && s.retireIdx < n; c++ {
+		i := s.retireIdx
+		if s.state[i] != stIssued || s.doneC[i] == never || int64(s.doneC[i]) > s.cycle {
+			return
+		}
+		s.state[i] = stRetired
+		s.robUsed--
+		head := s.tasks[0]
+		head.inflight--
+		if s.src != nil {
+			s.src.OnRetire(&s.tr[i])
+		}
+		s.retireIdx++
+		if head.end != -1 && s.retireIdx >= head.end {
+			// The task retired without being squashed: its spawn point
+			// earned its keep.
+			s.scoreSpawn(head.spawnFrom, 1)
+			s.tasks = s.tasks[1:]
+		}
+	}
+}
+
+// ---------------------------------------------------------------- issue
+
+func (s *sim) ready(i int) bool {
+	if int64(s.dispC[i]) >= s.cycle {
+		return false
+	}
+	e := &s.tr[i]
+	for k := 0; k < int(e.NSrc); k++ {
+		p := s.deps.RegProd[i][k]
+		if p >= 0 && (s.doneC[p] == never || int64(s.doneC[p]) > s.cycle) {
+			return false
+		}
+	}
+	if p := s.memWait[i]; p >= 0 {
+		if s.doneC[p] == never || int64(s.doneC[p]) > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sim) latency(e *trace.Entry) int32 {
+	switch {
+	case e.IsLoad():
+		return int32(2 + s.caches.L1D.Access(e.Addr))
+	case e.IsStore():
+		s.caches.L1D.Access(e.Addr)
+		return 1
+	case e.Op == isa.OpMUL:
+		return 3
+	case e.Op == isa.OpDIV || e.Op == isa.OpREM:
+		return 12
+	}
+	return 1
+}
+
+func (s *sim) issue() {
+	issued := 0
+	kept := s.sched[:0]
+	for _, idx := range s.sched {
+		i := int(idx)
+		if s.state[i] != stInSched { // squashed since
+			continue
+		}
+		if issued >= s.cfg.NumFUs || !s.ready(i) {
+			kept = append(kept, idx)
+			continue
+		}
+		issued++
+		s.schedUsed--
+		s.state[i] = stIssued
+		s.issueC[i] = int32(s.cycle)
+		e := &s.tr[i]
+		done := int32(s.cycle) + s.latency(e)
+		s.doneC[i] = done
+
+		if e.IsStore() {
+			// Any speculative loads that already issued before this
+			// store's data became available read stale data.
+			if loads, ok := s.watch[i]; ok {
+				for _, l := range loads {
+					li := int(l)
+					if s.state[li] >= stIssued && s.state[li] != stRetired &&
+						s.issueC[li] != never && s.issueC[li] < done {
+						s.viols = append(s.viols, violation{load: li, store: i, detect: int64(done)})
+					}
+				}
+				delete(s.watch, i)
+			}
+		}
+		if e.IsLoad() {
+			if p := int(s.memSpec[i]); p >= 0 {
+				switch {
+				case s.doneC[p] == never:
+					s.watch[p] = append(s.watch[p], int32(i))
+				case s.doneC[p] > s.issueC[i]:
+					s.viols = append(s.viols, violation{load: i, store: p, detect: int64(s.doneC[p])})
+				}
+			}
+		}
+	}
+	s.sched = kept
+}
+
+// ---------------------------------------------------------------- divert
+
+func (s *sim) moveDivertQueue() {
+	if len(s.dq) == 0 {
+		return
+	}
+	moved := 0
+	kept := s.dq[:0]
+	head := s.tasks[0]
+	for _, en := range s.dq {
+		if s.state[en.idx] != stDiverted { // squashed
+			continue
+		}
+		if moved >= s.cfg.Width {
+			kept = append(kept, en)
+			continue
+		}
+		readyToMove := true
+		for k := 0; k < int(en.n); k++ {
+			p := en.prods[k]
+			if p >= 0 && int64(s.dispC[p]) >= s.cycle { // "some time after" dispatch
+				readyToMove = false
+				break
+			}
+		}
+		if !readyToMove {
+			kept = append(kept, en)
+			continue
+		}
+		isHead := en.idx >= head.start && (head.end == -1 || en.idx < head.end)
+		if !s.haveBackendSpace(isHead) {
+			kept = append(kept, en)
+			continue
+		}
+		s.enterScheduler(en.idx)
+		moved++
+	}
+	s.dq = kept
+}
+
+func (s *sim) haveBackendSpace(isHead bool) bool {
+	robLimit, schedLimit := s.cfg.ROBSize, s.cfg.SchedSize
+	if !isHead {
+		robLimit -= s.cfg.ROBReserve
+		schedLimit -= s.cfg.SchedReserve
+	}
+	return s.robUsed < robLimit && s.schedUsed < schedLimit
+}
+
+func (s *sim) enterScheduler(i int) {
+	s.dispC[i] = int32(s.cycle)
+	s.state[i] = stInSched
+	s.robUsed++
+	s.schedUsed++
+	// Insert keeping ascending order (oldest-first issue priority).
+	pos := sort.Search(len(s.sched), func(k int) bool { return s.sched[k] > int32(i) })
+	s.sched = append(s.sched, 0)
+	copy(s.sched[pos+1:], s.sched[pos:])
+	s.sched[pos] = int32(i)
+}
+
+// -------------------------------------------------------------- dispatch
+
+// classifyMemDep fixes, at rename time, how a load's memory dependence is
+// handled: synchronized (memWait) when the producing store is in the same
+// task or the store-set predictor flags it, speculative (memSpec)
+// otherwise.
+func (s *sim) classifyMemDep(i int, t *task) {
+	e := &s.tr[i]
+	if !e.IsLoad() {
+		return
+	}
+	s.memWait[i], s.memSpec[i] = never, never // re-dispatch after a squash re-classifies
+	p := int(s.deps.MemProd[i])
+	if p < 0 {
+		return
+	}
+	if p >= t.start || s.ss.predicts(e.PC, s.tr[p].PC) {
+		s.memWait[i] = int32(p)
+	} else {
+		s.memSpec[i] = int32(p)
+	}
+}
+
+func (s *sim) dispatch() {
+	budget := s.cfg.Width
+	for ti := 0; ti < len(s.tasks); ti++ { // live slice: ReclaimROB may shrink it
+		t := s.tasks[ti]
+		isHead := ti == 0
+		for budget > 0 {
+			i := t.dispIdx
+			if i >= t.fetchIdx || s.state[i] != stFetched {
+				break
+			}
+			if int64(s.fetchC[i])+int64(s.cfg.FrontEndDepth) > s.cycle {
+				break
+			}
+			s.classifyMemDep(i, t)
+
+			// Collect inter-task producers that have not yet dispatched:
+			// the rename-stage dependence predictors divert such
+			// consumers.
+			var prods [3]int32
+			np := 0
+			e := &s.tr[i]
+			for k := 0; k < int(e.NSrc); k++ {
+				p := s.deps.RegProd[i][k]
+				if p >= 0 && int(p) < t.start && s.dispC[p] == never {
+					prods[np] = p
+					np++
+				}
+			}
+			if p := s.memWait[i]; p >= 0 && int(p) < t.start && s.dispC[p] == never {
+				prods[np] = p
+				np++
+			}
+
+			if np > 0 && s.cfg.DivertQSize > 0 {
+				if len(s.dq) >= s.cfg.DivertQSize {
+					break
+				}
+				s.state[i] = stDiverted
+				s.dq = append(s.dq, dqEntry{idx: i, prods: prods, n: uint8(np)})
+				s.stats.Diverted++
+				t.dispIdx++
+				budget--
+				continue
+			}
+			if !s.haveBackendSpace(isHead) {
+				// Future-work extension: reclaim the youngest task's ROB
+				// entries when they starve the head.
+				if isHead && s.cfg.ReclaimROB && s.robUsed >= s.cfg.ROBSize && len(s.tasks) > 1 {
+					s.reclaimYoungest()
+					if s.haveBackendSpace(isHead) {
+						continue
+					}
+				}
+				break
+			}
+			s.enterScheduler(i)
+			t.dispIdx++
+			budget--
+		}
+	}
+}
+
+// ---------------------------------------------------------------- fetch
+
+func (s *sim) taskEligible(t *task) bool {
+	if t.fetchDone(len(s.tr)) {
+		return false
+	}
+	if t.pendingRedirect >= 0 {
+		d := s.doneC[t.pendingRedirect]
+		if d == never {
+			return false
+		}
+		resume := int64(d) + int64(s.cfg.RedirectPenalty)
+		if s.cycle < resume {
+			return false
+		}
+		t.pendingRedirect = -1
+	}
+	if t.stallUntil > s.cycle {
+		return false
+	}
+	if t.fetchIdx-t.dispIdx >= s.cfg.FetchBufPerTask {
+		return false
+	}
+	return true
+}
+
+func (s *sim) fetch() {
+	// Biased ICount: the head (least speculative) task always gets a slot
+	// when it can fetch; remaining slots go to the eligible tasks with the
+	// fewest in-flight instructions.
+	var chosen []*task
+	if len(s.tasks) > 0 && s.taskEligible(s.tasks[0]) {
+		chosen = append(chosen, s.tasks[0])
+	}
+	for len(chosen) < s.cfg.FetchTasksPerCycle {
+		var best *task
+		for _, t := range s.tasks[min(1, len(s.tasks)):] {
+			already := false
+			for _, c := range chosen {
+				if c == t {
+					already = true
+					break
+				}
+			}
+			if already || !s.taskEligible(t) {
+				continue
+			}
+			if best == nil || t.inflight < best.inflight {
+				best = t
+			}
+		}
+		if best == nil {
+			break
+		}
+		chosen = append(chosen, best)
+	}
+	if len(chosen) == 0 {
+		return
+	}
+	bw := s.cfg.Width / len(chosen)
+	for _, t := range chosen {
+		s.fetchTask(t, bw)
+	}
+}
+
+func (s *sim) fetchTask(t *task, bw int) {
+	n := len(s.tr)
+	for f := 0; f < bw; f++ {
+		i := t.fetchIdx
+		if (t.end != -1 && i >= t.end) || i >= n {
+			return
+		}
+		if t.fetchIdx-t.dispIdx >= s.cfg.FetchBufPerTask {
+			return
+		}
+		e := &s.tr[i]
+
+		// I-cache: accessing a new line may miss and stall this task.
+		line := s.caches.L1I.LineOf(e.PC) + 1
+		if line != t.lastLine {
+			lat := s.caches.L1I.Access(e.PC)
+			t.lastLine = line
+			if lat > 0 {
+				t.stallUntil = s.cycle + int64(lat)
+				s.stats.ICacheStallCycle += int64(lat)
+				return
+			}
+		}
+
+		s.fetchC[i] = int32(s.cycle)
+		s.state[i] = stFetched
+		t.inflight++
+		t.fetchIdx++
+
+		s.trySpawn(t, i, e.PC)
+
+		// Control flow: at most one taken branch per task per cycle, and
+		// mispredicts stop this task's fetch until resolution.
+		stop := false
+		switch {
+		case e.IsCondBranch():
+			pred := s.gshare.Predict(e.PC, t.hist)
+			actual := e.Taken()
+			s.gshare.Update(e.PC, t.hist, actual)
+			t.hist = s.gshare.PushHistory(t.hist, actual)
+			if pred != actual {
+				s.stats.Mispredicts++
+				t.pendingRedirect = i
+				s.chargeForeclosure(t)
+				s.chargeColdStart(t, i)
+				stop = true
+			} else if actual {
+				stop = true
+			}
+		case e.IsCall():
+			t.ras.Push(e.PC + isa.InstSize)
+			if e.IsIndirect() { // jalr
+				s.predictIndirect(t, i, e)
+			}
+			stop = true
+		case e.IsReturn():
+			pred, ok := t.ras.Pop()
+			if !ok || pred != e.Next {
+				s.stats.Mispredicts++
+				t.pendingRedirect = i
+				s.chargeForeclosure(t)
+			}
+			stop = true
+		case e.IsIndirect(): // jr through a jump table
+			s.predictIndirect(t, i, e)
+			stop = true
+		case e.Op == isa.OpJ:
+			stop = true
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+func (s *sim) predictIndirect(t *task, i int, e *trace.Entry) {
+	pred, ok := s.btb.Predict(e.PC)
+	s.btb.Update(e.PC, e.Next)
+	if !ok || pred != e.Next {
+		s.stats.Mispredicts++
+		t.pendingRedirect = i
+		s.chargeForeclosure(t)
+	}
+}
+
+// ---------------------------------------------------------------- spawn
+
+func (s *sim) trySpawn(t *task, i int, pc uint64) {
+	if s.src == nil || len(s.tasks) >= s.cfg.MaxTasks {
+		return
+	}
+	if s.cfg.SpawnFromTailOnly && t != s.tasks[len(s.tasks)-1] {
+		// The tail-only rule forecloses this task's spawns. If one was
+		// actually viable, remember it: should this task then suffer a
+		// mispredict that the foreclosed hop would have hidden, the spawn
+		// point that created the current tail is charged (the "dynamic
+		// feedback about which tasks are profitable").
+		if !t.blockedSpawn && s.viableSpawn(t, i, pc) {
+			t.blockedSpawn = true
+		}
+		return
+	}
+	spawns := s.src.SpawnsAt(pc)
+	if len(spawns) == 0 {
+		return
+	}
+	// Finite hint cache (optional): a spawn point whose entry is not
+	// resident costs this opportunity; the entry is filled on demand.
+	if s.hintTags != nil {
+		idx := (pc >> 2) & uint64(len(s.hintTags)-1)
+		if s.hintTags[idx] != pc {
+			s.hintTags[idx] = pc
+			s.stats.HintMisses++
+			return
+		}
+	}
+	for _, sp := range spawns {
+		if !s.spawnAllowed(sp.From) {
+			s.stats.SpawnsRejected++
+			continue
+		}
+		k := s.t.NextOccurrence(sp.Target, i)
+		if k < 0 {
+			continue
+		}
+		dist := k - i
+		if dist < s.cfg.MinSpawnDistance || dist > s.cfg.MaxSpawnDistance {
+			s.stats.SpawnsRejected++
+			continue
+		}
+		if t.end != -1 && k >= t.end {
+			continue
+		}
+		// The spawning task's segment length is now fixed: tiny fragments
+		// are unprofitable, solid cuts reinforce their spawn point.
+		if k-t.start < s.cfg.ProfitMinTaskLen {
+			s.scoreSpawn(t.spawnFrom, -2)
+		} else {
+			s.scoreSpawn(t.spawnFrom, 1)
+		}
+		nt := &task{
+			id:              s.nextTaskID,
+			start:           k,
+			end:             t.end,
+			fetchIdx:        k,
+			dispIdx:         k,
+			pendingRedirect: -1,
+			hist:            t.hist,
+			ras:             t.ras.Clone(),
+			stallUntil:      s.cycle + int64(s.cfg.SpawnLatency),
+			spawnFrom:       sp.From,
+		}
+		s.nextTaskID++
+		t.end = k
+		// Insert after t (keeps tasks ordered by segment start).
+		pos := 0
+		for j, x := range s.tasks {
+			if x == t {
+				pos = j + 1
+				break
+			}
+		}
+		s.tasks = append(s.tasks, nil)
+		copy(s.tasks[pos+1:], s.tasks[pos:])
+		s.tasks[pos] = nt
+		s.stats.SpawnsTaken++
+		s.stats.SpawnsByKind[sp.Kind]++
+		return
+	}
+}
+
+// viableSpawn reports whether a spawn at pc would have been taken were the
+// task allowed to spawn.
+func (s *sim) viableSpawn(t *task, i int, pc uint64) bool {
+	for _, sp := range s.src.SpawnsAt(pc) {
+		if !s.spawnAllowed(sp.From) {
+			continue
+		}
+		k := s.t.NextOccurrence(sp.Target, i)
+		if k < 0 {
+			continue
+		}
+		dist := k - i
+		if dist < s.cfg.MinSpawnDistance || dist > s.cfg.MaxSpawnDistance {
+			continue
+		}
+		if t.end != -1 && k >= t.end {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// chargeForeclosure penalizes the spawn point whose task jumped over t's
+// remaining region (t's immediate successor) when a foreclosed hop would
+// have hidden a mispredict that just occurred in that region.
+func (s *sim) chargeForeclosure(t *task) {
+	if !t.blockedSpawn {
+		return
+	}
+	t.blockedSpawn = false
+	s.stats.Foreclosures++
+	for i, x := range s.tasks {
+		if x == t {
+			if i+1 < len(s.tasks) {
+				s.scoreSpawn(s.tasks[i+1].spawnFrom, -1)
+			}
+			return
+		}
+	}
+}
+
+// chargeColdStart penalizes a spawn point whose child mispredicts right
+// after birth: the fork paid its cost (cold local history) without covering
+// any distance yet.
+func (s *sim) chargeColdStart(t *task, i int) {
+	if t.spawnFrom != 0 && i-t.start < 12 {
+		s.scoreSpawn(t.spawnFrom, -1)
+	}
+}
+
+// ------------------------------------------------------------ violations
+
+func (s *sim) processViolations() {
+	if len(s.viols) == 0 {
+		return
+	}
+	alive := func(v violation) bool {
+		// The load may have been squashed (and perhaps refetched) since
+		// the violation was queued; the recorded condition must still hold.
+		return s.state[v.load] >= stIssued && s.state[v.load] != stRetired &&
+			s.issueC[v.load] != never && s.doneC[v.store] != never &&
+			s.issueC[v.load] < s.doneC[v.store]
+	}
+	chosen := violation{load: -1}
+	kept := s.viols[:0]
+	for _, v := range s.viols {
+		if !alive(v) {
+			continue
+		}
+		if v.detect > s.cycle {
+			kept = append(kept, v)
+			continue
+		}
+		if chosen.load < 0 || v.load < chosen.load {
+			if chosen.load >= 0 {
+				kept = append(kept, chosen)
+			}
+			chosen = v
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	s.viols = kept
+	if chosen.load >= 0 {
+		s.squash(chosen)
+	}
+}
+
+// squash handles a detected memory-dependence violation: the violating task
+// and all tasks beyond it are squashed, the violating task restarts at the
+// offending load, and the store-set predictor learns the dependence so
+// future instances synchronize instead.
+func (s *sim) squash(v violation) {
+	s.stats.Violations++
+	s.ss.train(s.tr[v.load].PC, s.tr[v.store].PC)
+	if vt := s.taskOf(v.load); vt != nil {
+		s.scoreSpawn(vt.spawnFrom, -2)
+	}
+
+	j := -1
+	for ti, t := range s.tasks {
+		if v.load >= t.start && (t.end == -1 || v.load < t.end) {
+			j = ti
+			break
+		}
+	}
+	if j < 0 {
+		return // the containing task already vanished; nothing to do
+	}
+
+	vt := s.tasks[j]
+	s.resetRange(v.load, vt.fetchIdx)
+	for _, t := range s.tasks[j+1:] {
+		s.resetRange(t.start, t.fetchIdx)
+	}
+	s.tasks = s.tasks[:j+1]
+
+	vt.end = -1 // becomes the tail again
+	vt.fetchIdx = v.load
+	if vt.dispIdx > v.load {
+		vt.dispIdx = v.load
+	}
+	vt.pendingRedirect = -1
+	vt.stallUntil = s.cycle + int64(s.cfg.RedirectPenalty) + 1
+	vt.lastLine = 0
+	vt.blockedSpawn = false
+	lo := vt.start
+	if s.retireIdx > lo {
+		lo = s.retireIdx
+	}
+	vt.inflight = v.load - lo
+	if vt.inflight < 0 {
+		vt.inflight = 0
+	}
+
+	s.purgeFrom(v.load)
+}
+
+// resetRange rolls back all per-instruction pipeline state for trace
+// entries [lo, hi), releasing their backend resources.
+func (s *sim) resetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		switch s.state[i] {
+		case stNone, stRetired:
+			continue
+		case stInSched:
+			s.schedUsed--
+			s.robUsed--
+		case stIssued:
+			s.robUsed--
+		}
+		s.state[i] = stNone
+		s.fetchC[i], s.dispC[i], s.issueC[i], s.doneC[i] = never, never, never, never
+		s.memWait[i], s.memSpec[i] = never, never
+		s.stats.SquashedInstrs++
+	}
+}
+
+// purgeFrom eagerly drops scheduler, divert-queue, watch-list and pending
+// violation entries at trace index >= lo: a refetched instruction re-enters
+// those structures, and a stale duplicate entry would otherwise alias it.
+func (s *sim) purgeFrom(lo int) {
+	keptS := s.sched[:0]
+	for _, idx := range s.sched {
+		if int(idx) < lo {
+			keptS = append(keptS, idx)
+		}
+	}
+	s.sched = keptS
+	keptD := s.dq[:0]
+	for _, en := range s.dq {
+		if en.idx < lo {
+			keptD = append(keptD, en)
+		}
+	}
+	s.dq = keptD
+	for st, loads := range s.watch {
+		if st >= lo {
+			delete(s.watch, st)
+			continue
+		}
+		keep := loads[:0]
+		for _, l := range loads {
+			if int(l) < lo {
+				keep = append(keep, l)
+			}
+		}
+		if len(keep) == 0 {
+			delete(s.watch, st)
+		} else {
+			s.watch[st] = keep
+		}
+	}
+	keptV := s.viols[:0]
+	for _, w := range s.viols {
+		if w.load < lo && w.store < lo {
+			keptV = append(keptV, w)
+		}
+	}
+	s.viols = keptV
+}
+
+// reclaimYoungest implements the ReclaimROB extension: squash the youngest
+// task outright so the resource-starved head can dispatch. The reclaimed
+// work refetches later (the segment merges back into the new tail).
+func (s *sim) reclaimYoungest() {
+	if len(s.tasks) < 2 {
+		return
+	}
+	tail := s.tasks[len(s.tasks)-1]
+	s.resetRange(tail.start, tail.fetchIdx)
+	s.purgeFrom(tail.start)
+	s.tasks = s.tasks[:len(s.tasks)-1]
+	newTail := s.tasks[len(s.tasks)-1]
+	newTail.end = tail.end
+	s.scoreSpawn(tail.spawnFrom, -1)
+	s.stats.Reclaims++
+}

@@ -1,0 +1,360 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// prep assembles, emulates and analyzes a program.
+func prep(t *testing.T, src string) (*isa.Program, *trace.Trace, *core.Analysis) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emu.Run(p, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(p, tr.IndirectTargets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr, a
+}
+
+const hardHammockLoop = `
+        li   $s7, 2463534242
+        li   $t9, 3000
+loop:   sll  $t0, $s7, 13
+        xor  $s7, $s7, $t0
+        srl  $t0, $s7, 7
+        xor  $s7, $s7, $t0
+        sll  $t0, $s7, 17
+        xor  $s7, $s7, $t0
+        andi $t1, $s7, 1
+        beq  $t1, $zero, els    # hard 50/50 branch
+        addi $s0, $s0, 3
+        xor  $s1, $s1, $s0
+        sll  $t2, $s0, 2
+        add  $s1, $s1, $t2
+        j    join
+els:    addi $s0, $s0, 5
+        sub  $s1, $s1, $s0
+        sra  $t2, $s1, 1
+        xor  $s1, $s1, $t2
+join:   andi $s1, $s1, 0xffff
+        addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`
+
+func TestSuperscalarRetiresEverything(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	res, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != int64(tr.Len()) {
+		t.Fatalf("retired %d of %d", res.Retired, tr.Len())
+	}
+	if res.IPC <= 0 || res.IPC > float64(SuperscalarConfig().Width) {
+		t.Fatalf("implausible IPC %f", res.IPC)
+	}
+	if res.SpawnsTaken != 0 {
+		t.Fatalf("superscalar spawned tasks")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	cfg := PolyFlowConfig()
+	r1, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.SpawnsTaken != r2.SpawnsTaken {
+		t.Fatalf("nondeterministic: %v vs %v", r1, r2)
+	}
+}
+
+func TestPolyFlowWithoutSpawnsMatchesSuperscalar(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	ss, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Run(tr, nil, nil, PolyFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Cycles != pf.Cycles {
+		t.Fatalf("single-task PolyFlow (%d cycles) differs from superscalar (%d)", pf.Cycles, ss.Cycles)
+	}
+}
+
+// TestHammockSpawningHidesMispredicts: on a loop dominated by a hard
+// hammock, control-equivalent spawning must beat the superscalar — the
+// paper's central claim in miniature.
+func TestHammockSpawningHidesMispredicts(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	ss, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Run(tr, nil, core.PolicyPostdoms.Source(a), PolyFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.SpawnsTaken == 0 {
+		t.Fatalf("no spawns taken")
+	}
+	if pf.Cycles >= ss.Cycles {
+		t.Fatalf("PolyFlow (%d cycles) not faster than superscalar (%d)", pf.Cycles, ss.Cycles)
+	}
+	if pf.Retired != ss.Retired {
+		t.Fatalf("retire counts differ")
+	}
+	if pf.PeakTasks < 2 {
+		t.Fatalf("never ran more than one task")
+	}
+}
+
+// TestMispredictPenalty: an unpredictable branch stream must cost far more
+// cycles than a predictable one of the same length (at least ~8 cycles per
+// mispredict, per the paper's configuration).
+func TestMispredictPenalty(t *testing.T) {
+	predictable := strings.Replace(hardHammockLoop, "andi $t1, $s7, 1", "li   $t1, 1", 1)
+	_, trHard, _ := prep(t, hardHammockLoop)
+	_, trEasy, _ := prep(t, predictable)
+	hard, err := Run(trHard, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, err := Run(trEasy, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Mispredicts < 1000 {
+		t.Fatalf("hard loop mispredicts = %d, expected ~1500", hard.Mispredicts)
+	}
+	extra := hard.Cycles - easy.Cycles
+	if extra < 8*hard.Mispredicts/2 {
+		t.Fatalf("mispredict cost too low: %d extra cycles for %d mispredicts",
+			extra, hard.Mispredicts)
+	}
+}
+
+// interTaskMemProgram: the hammock arms store a cell that the join block
+// immediately loads. A task spawned at the join carries the load while the
+// store stays in the spawning task — a genuine inter-task memory dependence
+// that first violates (squash) and is then synchronized by the trained
+// store sets.
+const interTaskMemProgram = `
+        li   $t8, 0x100000
+        li   $s7, 2463534242
+        li   $t9, 2000
+loop:   sll  $t0, $s7, 13
+        xor  $s7, $s7, $t0
+        srl  $t0, $s7, 7
+        xor  $s7, $s7, $t0
+        andi $t1, $s7, 1
+        beq  $t1, $zero, els
+        addi $s0, $s0, 3
+        sd   $s0, 0($t8)
+        j    join
+els:    addi $s0, $s0, 5
+        sd   $s0, 0($t8)
+join:   ld   $t2, 0($t8)
+        add  $s1, $s1, $t2
+        andi $s1, $s1, 0xffff
+        addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`
+
+func TestMemoryViolationSquashAndSync(t *testing.T) {
+	_, tr, a := prep(t, interTaskMemProgram)
+	cfg := PolyFlowConfig()
+	cfg.WarmupInstrs = 0
+	res, err := Run(tr, nil, core.PolicyHammock.Source(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpawnsTaken == 0 {
+		t.Fatalf("loop policy took no spawns")
+	}
+	if res.Violations == 0 {
+		t.Fatalf("no memory violations despite cross-task store->load")
+	}
+	if res.SquashedInstrs == 0 {
+		t.Fatalf("violations without squashed instructions")
+	}
+	// The store-set predictor must learn: violations should be far fewer
+	// than spawns.
+	if res.Violations > res.SpawnsTaken/2 {
+		t.Fatalf("store sets never learned: %d violations for %d spawns",
+			res.Violations, res.SpawnsTaken)
+	}
+	if res.Retired != int64(tr.Len()) {
+		t.Fatalf("squash lost instructions: retired %d of %d", res.Retired, tr.Len())
+	}
+}
+
+func TestDivertQueueUsed(t *testing.T) {
+	// Inter-task register dependence through $s0 forces diversion.
+	_, tr, a := prep(t, `
+        li   $t9, 1000
+        li   $s0, 1
+loop:   andi $t1, $s0, 3
+        beq  $t1, $zero, els
+        addi $s0, $s0, 7
+        sll  $t2, $s0, 1
+        xor  $t3, $t2, $s0
+        add  $t4, $t3, $t2
+        j    join
+els:    addi $s0, $s0, 11
+        sub  $t2, $zero, $s0
+        sra  $t3, $t2, 1
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`)
+	res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), PolyFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpawnsTaken > 0 && res.Diverted == 0 {
+		t.Fatalf("cross-task register consumers never diverted")
+	}
+}
+
+func TestWarmupAccounting(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	cfg := SuperscalarConfig()
+	cfg.WarmupInstrs = 1000
+	res, err := Run(tr, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != int64(tr.Len()-1000) {
+		t.Fatalf("warmup accounting wrong: retired %d", res.Retired)
+	}
+	cold, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles >= cold.Cycles {
+		t.Fatalf("warmup did not reduce simulated cycles")
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	cfg := SuperscalarConfig()
+	cfg.MaxCycles = 10
+	if _, err := Run(tr, nil, nil, cfg); err == nil {
+		t.Fatalf("MaxCycles guard did not fire")
+	}
+}
+
+func TestAnyTaskSpawnAblation(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	cfg := PolyFlowConfig()
+	cfg.SpawnFromTailOnly = false
+	res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retired != int64(tr.Len()) {
+		t.Fatalf("any-task spawning corrupted retirement")
+	}
+}
+
+func TestTaskCountSweepMonotonicish(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	cfg1 := PolyFlowConfig()
+	cfg1.MaxTasks = 2
+	cfg8 := PolyFlowConfig()
+	r2, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More contexts must not be drastically worse; allow 5% noise.
+	if float64(r8.Cycles) > float64(r2.Cycles)*1.05 {
+		t.Fatalf("8 tasks (%d cycles) much slower than 2 tasks (%d)", r8.Cycles, r2.Cycles)
+	}
+	if r8.PeakTasks <= r2.PeakTasks {
+		t.Fatalf("peak tasks did not grow with the context count")
+	}
+}
+
+func TestStoreSets(t *testing.T) {
+	ss := newStoreSets(2)
+	if ss.predicts(0x100, 0x200) {
+		t.Fatalf("cold predictor predicts")
+	}
+	ss.train(0x100, 0x200)
+	if !ss.predicts(0x100, 0x200) {
+		t.Fatalf("trained dependence not predicted")
+	}
+	ss.train(0x100, 0x300)
+	ss.train(0x100, 0x400) // evicts 0x200 (2 ways)
+	if ss.predicts(0x100, 0x200) {
+		t.Fatalf("LRU eviction failed")
+	}
+	if !ss.predicts(0x100, 0x300) || !ss.predicts(0x100, 0x400) {
+		t.Fatalf("recent entries lost")
+	}
+	// Re-training an existing pair refreshes it to MRU.
+	ss.train(0x100, 0x300)
+	ss.train(0x100, 0x500)
+	if !ss.predicts(0x100, 0x300) || ss.predicts(0x100, 0x400) {
+		t.Fatalf("MRU refresh failed")
+	}
+}
+
+func TestParameterTable(t *testing.T) {
+	tab := PolyFlowConfig().ParameterTable()
+	for _, want := range []string{
+		"8 instrs/cycle", "16Kbit gshare, 8 bits", "At least 8 cycles",
+		"512 entries", "64 entries", "128 entries", "8 identical",
+	} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("parameter table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	pf := PolyFlowConfig()
+	if pf.MaxTasks != 8 || pf.Width != 8 || pf.ROBSize != 512 ||
+		pf.SchedSize != 64 || pf.DivertQSize != 128 || pf.FetchTasksPerCycle != 2 {
+		t.Fatalf("PolyFlow config drifted from Figure 8: %+v", pf)
+	}
+	ss := SuperscalarConfig()
+	if ss.MaxTasks != 1 || ss.FetchTasksPerCycle != 1 {
+		t.Fatalf("superscalar config wrong: %+v", ss)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Config: "x", Cycles: 10, Retired: 20, IPC: 2}
+	if !strings.Contains(r.String(), "IPC 2.000") {
+		t.Fatalf("Result.String() = %q", r.String())
+	}
+}

@@ -1,0 +1,254 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// straightLine builds a program executing n independent ALU instructions
+// per iteration over several iterations, so the instruction cache warms
+// after the first pass and the steady state measures the pipeline itself.
+func straightLine(n int) string {
+	var b strings.Builder
+	b.WriteString("        li $s0, 1\n")
+	b.WriteString("        li $t9, 8\n")
+	b.WriteString("top:    addi $t9, $t9, -1\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("        addi $t0, $s0, 1\n")
+	}
+	b.WriteString("        bgtz $t9, top\n")
+	b.WriteString("        halt\n")
+	return b.String()
+}
+
+// TestFetchWidthBoundsIPC: independent straight-line code approaches but
+// never exceeds the machine width.
+func TestFetchWidthBoundsIPC(t *testing.T) {
+	_, tr, _ := prep(t, straightLine(1000))
+	cfg := SuperscalarConfig()
+	cfg.WarmupInstrs = 1100 // skip the compulsory I-cache misses of pass 1
+	res, err := Run(tr, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC > 8 {
+		t.Fatalf("IPC %f exceeds machine width", res.IPC)
+	}
+	if res.IPC < 5 {
+		t.Fatalf("straight-line IPC %f too low for an 8-wide machine", res.IPC)
+	}
+}
+
+// TestTakenBranchLimit: a chain of always-taken branches is fetch-limited
+// to ~1 taken branch per cycle on the superscalar.
+func TestTakenBranchLimit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("        li $t9, 2000\n")
+	b.WriteString("chain0: addi $t9, $t9, -1\n")
+	b.WriteString("        blez $t9, out\n")
+	b.WriteString("        j chain0\n") // taken every iteration
+	b.WriteString("out:    halt\n")
+	_, tr, _ := prep(t, b.String())
+	res, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three instructions per iteration with two taken branches (j +
+	// implicit loop) -> at most ~1.5 IPC.
+	if res.IPC > 3.2 {
+		t.Fatalf("taken-branch limit not enforced: IPC %f", res.IPC)
+	}
+}
+
+// TestDataflowSerialization: a dependent chain executes at ~1 instr/cycle
+// regardless of width.
+func TestDataflowSerialization(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("        li $t0, 1\n")
+	for i := 0; i < 3000; i++ {
+		b.WriteString("        addi $t0, $t0, 1\n") // serial chain
+	}
+	b.WriteString("        halt\n")
+	_, tr, _ := prep(t, b.String())
+	res, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC > 1.3 {
+		t.Fatalf("dependent chain IPC %f > 1", res.IPC)
+	}
+}
+
+// TestLoadLatencyVisible: a pointer chase through L1-resident memory runs
+// at roughly one load latency per iteration.
+func TestLoadLatencyVisible(t *testing.T) {
+	_, tr, _ := prep(t, `
+        .data
+cell:   .word8 0x100000          # points to itself... patched below: self loop via address of cell
+        .text
+main:   li   $t8, 0x100000
+        li   $t9, 2000
+loop:   ld   $t8, 0($t8)         # loads the value 0x100000 -> self chase
+        addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`)
+	res, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each iteration's load depends on the previous load: >= 2 cycles per
+	// 3 instructions.
+	if res.IPC > 1.6 {
+		t.Fatalf("load-to-use chain too fast: IPC %f", res.IPC)
+	}
+}
+
+// TestICacheMissesStallFetch: code far larger than the L1I with a cyclic
+// walk produces instruction-miss stalls.
+func TestICacheMissesStallFetch(t *testing.T) {
+	// 4000 instructions of straight-line code = 16KB, walked 4 times via
+	// an outer loop: thrashes the 8KB L1I.
+	var b strings.Builder
+	b.WriteString("        li $t9, 4\n")
+	b.WriteString("top:    li $s0, 1\n")
+	for i := 0; i < 4000; i++ {
+		b.WriteString("        addi $t0, $s0, 1\n")
+	}
+	b.WriteString("        addi $t9, $t9, -1\n")
+	b.WriteString("        bgtz $t9, top\n")
+	b.WriteString("        halt\n")
+	_, tr, _ := prep(t, b.String())
+	cfg := SuperscalarConfig()
+	cfg.WarmupInstrs = 0
+	res, err := Run(tr, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ICacheMisses < 300 {
+		t.Fatalf("I-cache misses = %d for a 2x-capacity cyclic walk", res.ICacheMisses)
+	}
+	if res.ICacheStallCycle == 0 {
+		t.Fatalf("misses without fetch stalls")
+	}
+}
+
+// TestCommitWidthBoundsRetirement: cycles >= instructions / commit width.
+func TestCommitWidthBoundsRetirement(t *testing.T) {
+	_, tr, _ := prep(t, straightLine(1000))
+	cfg := SuperscalarConfig()
+	cfg.CommitWidth = 2
+	res, err := Run(tr, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < res.Retired/2 {
+		t.Fatalf("retired %d in %d cycles with commit width 2", res.Retired, res.Cycles)
+	}
+}
+
+// TestSchedulerCapacityMatters: shrinking the scheduler on miss-heavy code
+// costs cycles.
+func TestSchedulerCapacityMatters(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	small := SuperscalarConfig()
+	small.SchedSize = 4
+	rSmall, err := Run(tr, nil, nil, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.Cycles <= rBig.Cycles {
+		t.Fatalf("4-entry scheduler (%d cycles) not slower than 64-entry (%d)",
+			rSmall.Cycles, rBig.Cycles)
+	}
+}
+
+// TestReturnAddressStackPredictsReturns: call-heavy code has near-zero
+// return mispredicts thanks to the RAS.
+func TestReturnAddressStackPredictsReturns(t *testing.T) {
+	_, tr, _ := prep(t, `
+        .func main
+main:   li   $t9, 1000
+loop:   jal  leaf
+        addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+        .func leaf
+leaf:   addi $v0, $a0, 1
+        ret
+`)
+	res, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only real mispredicts should be a handful from the loop branch.
+	if res.Mispredicts > 50 {
+		t.Fatalf("mispredicts = %d; RAS not predicting returns", res.Mispredicts)
+	}
+}
+
+// TestIndirectJumpBTBPenalty: an indirect jump alternating between two
+// targets defeats the last-target BTB; a fixed target trains it.
+func TestIndirectJumpBTBPenalty(t *testing.T) {
+	const body = `
+        .data
+tab:    .word8 c0, c1
+        .text
+main:   li   $t9, 2000
+        la   $s5, tab
+loop:   andi $t0, $t9, %MASK%
+        sll  $t0, $t0, 3
+        add  $t0, $t0, $s5
+        ld   $t1, 0($t0)
+        jr   $t1
+        .targets c0, c1
+c0:     addi $s0, $s0, 1
+        j    next
+c1:     addi $s0, $s0, 2
+next:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`
+	_, trAlt, _ := prep(t, strings.Replace(body, "%MASK%", "1", 1)) // alternating
+	_, trFix, _ := prep(t, strings.Replace(body, "%MASK%", "0", 1)) // fixed target
+	alt, err := Run(trAlt, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := Run(trFix, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Mispredicts < fix.Mispredicts+1000 {
+		t.Fatalf("alternating indirect target mispredicts (%d) not far above fixed (%d)",
+			alt.Mispredicts, fix.Mispredicts)
+	}
+	if alt.Cycles <= fix.Cycles {
+		t.Fatalf("BTB mispredicts cost no cycles")
+	}
+}
+
+// TestBiasedICountSharesFetch: with spawning active, the concurrency stats
+// show several tasks fetching, i.e. the second fetch slot is actually used.
+func TestBiasedICountSharesFetch(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	res, err := Run(tr, nil, corePolicySource(a), PolyFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgTasks := float64(res.TaskCycles) / float64(res.Cycles)
+	if avgTasks < 1.5 {
+		t.Fatalf("average active tasks %.2f; fetch never parallelized", avgTasks)
+	}
+}
+
+// corePolicySource is a small helper shared by the pipeline tests.
+func corePolicySource(a *core.Analysis) core.Source {
+	return core.PolicyPostdoms.Source(a)
+}

@@ -1,0 +1,50 @@
+package machine
+
+// storeSets is the memory dependence predictor used to synchronize
+// inter-task loads with earlier-task stores, in the spirit of the paper's
+// Synchronizing Store Sets [Stone et al.]: each load PC accumulates the
+// store PCs it has been caught violating against; a load predicted to
+// depend on an in-flight earlier-task store is synchronized (waits for the
+// store) instead of speculating. The table is trained online by violation
+// squashes, so cold loads speculate and may squash — the conservative,
+// no-value-prediction regime the paper describes.
+type storeSets struct {
+	ways int
+	m    map[uint64][]uint64 // load PC -> recent store PCs (LRU, bounded)
+}
+
+func newStoreSets(ways int) *storeSets {
+	if ways <= 0 {
+		ways = 4
+	}
+	return &storeSets{ways: ways, m: map[uint64][]uint64{}}
+}
+
+// predicts reports whether the load at loadPC is predicted to depend on the
+// store at storePC.
+func (s *storeSets) predicts(loadPC, storePC uint64) bool {
+	for _, pc := range s.m[loadPC] {
+		if pc == storePC {
+			return true
+		}
+	}
+	return false
+}
+
+// train records a detected violation between loadPC and storePC.
+func (s *storeSets) train(loadPC, storePC uint64) {
+	set := s.m[loadPC]
+	for i, pc := range set {
+		if pc == storePC {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = storePC
+			return
+		}
+	}
+	set = append([]uint64{storePC}, set...)
+	if len(set) > s.ways {
+		set = set[:s.ways]
+	}
+	s.m[loadPC] = set
+}

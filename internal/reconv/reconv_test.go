@@ -1,0 +1,263 @@
+package reconv
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// trainOn runs the program functionally and feeds the retirement stream to
+// a fresh predictor.
+func trainOn(t *testing.T, src string, cfg Config) (*Predictor, *isa.Program, *trace.Trace) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emu.Run(p, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := New(cfg)
+	for i := range tr.Entries {
+		pred.Observe(&tr.Entries[i])
+	}
+	return pred, p, tr
+}
+
+func TestLearnsIfThenElseJoin(t *testing.T) {
+	pred, p, _ := trainOn(t, `
+        li   $s7, 2463534242
+        li   $t9, 40
+loop:   sll  $t0, $s7, 13
+        xor  $s7, $s7, $t0
+        srl  $t0, $s7, 7
+        xor  $s7, $s7, $t0
+        andi $t1, $s7, 1
+br:     beq  $t1, $zero, els
+        addi $s0, $s0, 1
+        j    join
+els:    addi $s0, $s0, 2
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`, DefaultConfig())
+	got, ok := pred.Predict(p.Labels["br"])
+	if !ok {
+		t.Fatalf("no confident prediction for the if-then-else branch")
+	}
+	if got != p.Labels["join"] {
+		t.Fatalf("reconvergence = %x, want join %x", got, p.Labels["join"])
+	}
+	if pred.CategoryOf(p.Labels["br"]) != CatBelowBranch {
+		t.Fatalf("category = %v", pred.CategoryOf(p.Labels["br"]))
+	}
+}
+
+func TestLearnsLoopFallThrough(t *testing.T) {
+	pred, p, _ := trainOn(t, `
+        li   $t9, 8
+outer:  li   $t0, 5
+inner:  addi $t0, $t0, -1
+lbr:    bgtz $t0, inner
+after:  addi $t9, $t9, -1
+        bgtz $t9, outer
+        halt
+`, DefaultConfig())
+	got, ok := pred.Predict(p.Labels["lbr"])
+	if !ok {
+		t.Fatalf("no prediction for the loop branch")
+	}
+	if got != p.Labels["after"] {
+		t.Fatalf("loop reconvergence = %x, want after %x", got, p.Labels["after"])
+	}
+}
+
+func TestLearnsIndirectJumpJoin(t *testing.T) {
+	pred, p, _ := trainOn(t, `
+        .data
+table:  .word8 c0, c1, c2
+        .text
+main:   li   $s7, 88172645463325252
+        li   $t9, 80
+loop:   sll  $t0, $s7, 13
+        xor  $s7, $s7, $t0
+        srl  $t0, $s7, 17
+        xor  $s7, $s7, $t0
+        li   $t1, 3
+        rem  $t2, $s7, $t1
+        bltz $t2, fix
+back:   sll  $t2, $t2, 3
+        la   $t3, table
+        add  $t3, $t3, $t2
+        ld   $t4, 0($t3)
+jmp:    jr   $t4
+        .targets c0, c1, c2
+c0:     addi $s0, $s0, 1
+        j    join
+c1:     addi $s0, $s0, 2
+        j    join
+c2:     addi $s0, $s0, 3
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+fix:    sub  $t2, $zero, $t2
+        j    back
+`, DefaultConfig())
+	got, ok := pred.Predict(p.Labels["jmp"])
+	if !ok {
+		t.Fatalf("no prediction for the indirect jump")
+	}
+	if got != p.Labels["join"] {
+		t.Fatalf("switch reconvergence = %x, want join %x", got, p.Labels["join"])
+	}
+}
+
+// TestRecursionDoesNotPoison: branches inside a recursive function must
+// learn their same-frame join, not PCs from deeper invocations.
+func TestRecursionDoesNotPoison(t *testing.T) {
+	pred, p, _ := trainOn(t, `
+        .func main
+main:   li   $t9, 30
+ml:     andi $a0, $t9, 7      # vary the top-frame argument per call
+        addi $a0, $a0, 1
+        jal  walk
+        addi $t9, $t9, -1
+        bgtz $t9, ml
+        halt
+        .func walk
+walk:   addi $sp, $sp, -16
+        sd   $ra, 0($sp)
+        andi $t0, $a0, 1
+wbr:    beq  $t0, $zero, wels
+        addi $s0, $s0, 1
+        j    wjoin
+wels:   addi $s0, $s0, 2
+wjoin:  blez $a0, wout
+        addi $a0, $a0, -1
+        jal  walk
+wout:   ld   $ra, 0($sp)
+        addi $sp, $sp, 16
+        ret
+`, DefaultConfig())
+	if got, ok := pred.Predict(p.Labels["wbr"]); !ok || got != p.Labels["wjoin"] {
+		t.Fatalf("recursive-frame reconvergence = %x,%v want wjoin %x", got, ok, p.Labels["wjoin"])
+	}
+}
+
+func TestConfidenceThresholdGatesPredictions(t *testing.T) {
+	// With a huge threshold nothing is ever served.
+	pred, p, _ := trainOn(t, `
+        li   $t9, 6
+loop:   addi $t9, $t9, -1
+lbr:    bgtz $t9, loop
+        halt
+`, Config{Window: 512, ConfThreshold: 1000})
+	if _, ok := pred.Predict(p.Labels["lbr"]); ok {
+		t.Fatalf("prediction served below the confidence threshold")
+	}
+}
+
+func TestMaxEntriesCap(t *testing.T) {
+	pred, _, _ := trainOn(t, `
+        li   $t9, 4
+loop:   blez $zero, n1
+n1:     blez $zero, n2
+n2:     blez $zero, n3
+n3:     addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`, Config{Window: 512, ConfThreshold: 2, MaxEntries: 2})
+	if pred.Entries() > 2 {
+		t.Fatalf("entries = %d, exceeds cap", pred.Entries())
+	}
+}
+
+func TestSourceSpawns(t *testing.T) {
+	src := `
+        .func main
+main:   li   $t9, 20
+loop:   andi $t0, $t9, 1
+br:     beq  $t0, $zero, els
+        addi $s0, $s0, 1
+        j    join
+els:    addi $s0, $s0, 2
+join:   jal  helper
+        addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+        .func helper
+helper: addi $s1, $s1, 1
+        ret
+`
+	pred, p, tr := trainOn(t, src, DefaultConfig())
+	s := NewSource(pred, p)
+
+	// Call sites spawn the return address without any training.
+	callPC := p.Labels["join"]
+	got := s.SpawnsAt(callPC)
+	if len(got) != 1 || got[0].Target != callPC+isa.InstSize {
+		t.Fatalf("call spawn = %v", got)
+	}
+
+	// The trained branch spawns its learned reconvergence point.
+	if got := s.SpawnsAt(p.Labels["br"]); len(got) != 1 || got[0].Target != p.Labels["join"] {
+		t.Fatalf("branch spawn = %v", got)
+	}
+
+	// Non-control PCs spawn nothing.
+	if got := s.SpawnsAt(p.Labels["main"]); got != nil {
+		t.Fatalf("li spawned: %v", got)
+	}
+
+	// OnRetire forwards to the predictor.
+	s2 := NewSource(New(DefaultConfig()), p)
+	for i := range tr.Entries {
+		s2.OnRetire(&tr.Entries[i])
+	}
+	if _, ok := s2.Pred.Predict(p.Labels["br"]); !ok {
+		t.Fatalf("OnRetire did not train the predictor")
+	}
+}
+
+// TestWarmupEffect: predictions are absent early in training — the warm-up
+// loss source the paper describes.
+func TestWarmupEffect(t *testing.T) {
+	p, err := asm.Assemble(`
+        li   $t9, 40
+loop:   andi $t0, $t9, 1
+br:     beq  $t0, $zero, els
+        addi $s0, $s0, 1
+        j    join
+els:    addi $s0, $s0, 2
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := emu.Run(p, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := New(DefaultConfig())
+	sawCold := false
+	for i := range tr.Entries {
+		if i == 8 { // after roughly one iteration
+			if _, ok := pred.Predict(p.Labels["br"]); !ok {
+				sawCold = true
+			}
+		}
+		pred.Observe(&tr.Entries[i])
+	}
+	if !sawCold {
+		t.Fatalf("predictor confident with almost no training")
+	}
+	if _, ok := pred.Predict(p.Labels["br"]); !ok {
+		t.Fatalf("predictor still cold after full training")
+	}
+}

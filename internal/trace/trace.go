@@ -1,0 +1,217 @@
+// Package trace defines the retired dynamic instruction trace produced by
+// the functional emulator, along with the derived indexes the timing model
+// and the Task Spawn Unit consume: per-PC occurrence lists (the paper's
+// spawn unit "uses a trace to ensure that tasks are not spawned too far into
+// the future") and register/memory last-writer dependence information (the
+// idealized stand-in for the compiler-generated dependence hints stored in
+// the paper's hint cache).
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// Entry is one retired instruction.
+type Entry struct {
+	PC    uint64
+	Next  uint64 // PC of the next retired instruction
+	Addr  uint64 // effective address for loads/stores
+	Op    isa.Op
+	Dst   isa.Reg // valid when HasDst
+	Srcs  [2]isa.Reg
+	NSrc  uint8
+	MemW  uint8 // access width in bytes; 0 for non-memory ops
+	Flags uint8
+}
+
+// Entry flag bits.
+const (
+	FlagHasDst uint8 = 1 << iota
+	FlagLoad
+	FlagStore
+	FlagCondBranch
+	FlagTaken
+	FlagCall
+	FlagReturn
+	FlagIndirect
+)
+
+// HasDst reports whether the entry writes a register.
+func (e *Entry) HasDst() bool { return e.Flags&FlagHasDst != 0 }
+
+// IsLoad reports whether the entry is a load.
+func (e *Entry) IsLoad() bool { return e.Flags&FlagLoad != 0 }
+
+// IsStore reports whether the entry is a store.
+func (e *Entry) IsStore() bool { return e.Flags&FlagStore != 0 }
+
+// IsCondBranch reports whether the entry is a conditional branch.
+func (e *Entry) IsCondBranch() bool { return e.Flags&FlagCondBranch != 0 }
+
+// Taken reports the resolved direction of a conditional branch (meaningful
+// only when IsCondBranch).
+func (e *Entry) Taken() bool { return e.Flags&FlagTaken != 0 }
+
+// IsCall reports whether the entry is a procedure call.
+func (e *Entry) IsCall() bool { return e.Flags&FlagCall != 0 }
+
+// IsReturn reports whether the entry is a procedure return (jr $ra).
+func (e *Entry) IsReturn() bool { return e.Flags&FlagReturn != 0 }
+
+// IsIndirect reports whether the entry is an indirect jump.
+func (e *Entry) IsIndirect() bool { return e.Flags&FlagIndirect != 0 }
+
+// Trace is the full retired instruction stream of one program run.
+type Trace struct {
+	Entries []Entry
+
+	occOnce sync.Once
+	occ     map[uint64][]int32
+}
+
+// Len returns the number of retired instructions.
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// buildIndex constructs the per-PC occurrence index lazily (goroutine-safe:
+// experiment sweeps simulate one trace concurrently).
+func (t *Trace) buildIndex() {
+	t.occOnce.Do(func() {
+		t.occ = make(map[uint64][]int32, 1024)
+		for i := range t.Entries {
+			pc := t.Entries[i].PC
+			t.occ[pc] = append(t.occ[pc], int32(i))
+		}
+	})
+}
+
+// NextOccurrence returns the smallest trace index > after at which pc
+// retires, or -1 when pc never retires again. This is the oracle the Task
+// Spawn Unit uses to place a spawned task on the correct path.
+func (t *Trace) NextOccurrence(pc uint64, after int) int {
+	t.buildIndex()
+	occ := t.occ[pc]
+	i := sort.Search(len(occ), func(i int) bool { return int(occ[i]) > after })
+	if i == len(occ) {
+		return -1
+	}
+	return int(occ[i])
+}
+
+// Occurrences returns every trace index at which pc retires.
+func (t *Trace) Occurrences(pc uint64) []int32 {
+	t.buildIndex()
+	return t.occ[pc]
+}
+
+// IndirectTargets collects the observed dynamic targets of every indirect
+// jump, keyed by jump PC. The static CFG uses this as profile information
+// to resolve jr/jalr successors, exactly as the paper's profile-driven
+// postdominator analysis does.
+func (t *Trace) IndirectTargets() map[uint64][]uint64 {
+	seen := map[uint64]map[uint64]bool{}
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if !e.IsIndirect() {
+			continue
+		}
+		m := seen[e.PC]
+		if m == nil {
+			m = map[uint64]bool{}
+			seen[e.PC] = m
+		}
+		m[e.Next] = true
+	}
+	out := make(map[uint64][]uint64, len(seen))
+	for pc, m := range seen {
+		ts := make([]uint64, 0, len(m))
+		for t := range m {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		out[pc] = ts
+	}
+	return out
+}
+
+// BranchProfile summarizes one static conditional branch's dynamic behaviour.
+type BranchProfile struct {
+	Executed int
+	Taken    int
+}
+
+// BranchProfiles aggregates per-PC conditional branch statistics.
+func (t *Trace) BranchProfiles() map[uint64]*BranchProfile {
+	out := map[uint64]*BranchProfile{}
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if !e.IsCondBranch() {
+			continue
+		}
+		p := out[e.PC]
+		if p == nil {
+			p = &BranchProfile{}
+			out[e.PC] = p
+		}
+		p.Executed++
+		if e.Taken() {
+			p.Taken++
+		}
+	}
+	return out
+}
+
+// Deps holds, for every trace entry, the producing trace index of each of
+// its register sources and (for loads) of the most recent overlapping store.
+// An index of -1 means the value predates the trace (initial state).
+type Deps struct {
+	// RegProd[i][k] is the index of the entry that produced entry i's k-th
+	// register source (k < NSrc).
+	RegProd [][2]int32
+	// MemProd[i] is the index of the most recent prior store overlapping a
+	// load's bytes, or -1.
+	MemProd []int32
+}
+
+// ComputeDeps performs the last-writer scan. Memory dependences are tracked
+// at byte granularity, so partially overlapping accesses are handled
+// exactly.
+func (t *Trace) ComputeDeps() *Deps {
+	n := len(t.Entries)
+	d := &Deps{
+		RegProd: make([][2]int32, n),
+		MemProd: make([]int32, n),
+	}
+	var lastReg [isa.NumRegs]int32
+	for r := range lastReg {
+		lastReg[r] = -1
+	}
+	lastStore := make(map[uint64]int32, 4096)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		for k := 0; k < int(e.NSrc); k++ {
+			d.RegProd[i][k] = lastReg[e.Srcs[k]]
+		}
+		d.MemProd[i] = -1
+		if e.IsLoad() {
+			prod := int32(-1)
+			for b := uint64(0); b < uint64(e.MemW); b++ {
+				if s, ok := lastStore[e.Addr+b]; ok && s > prod {
+					prod = s
+				}
+			}
+			d.MemProd[i] = prod
+		}
+		if e.IsStore() {
+			for b := uint64(0); b < uint64(e.MemW); b++ {
+				lastStore[e.Addr+b] = int32(i)
+			}
+		}
+		if e.HasDst() {
+			lastReg[e.Dst] = int32(i)
+		}
+	}
+	return d
+}

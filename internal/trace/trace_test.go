@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// mkEntry helpers build small synthetic traces directly.
+func alu(pc uint64, dst isa.Reg, srcs ...isa.Reg) Entry {
+	e := Entry{PC: pc, Op: isa.OpADD, Dst: dst, Flags: FlagHasDst}
+	for i, s := range srcs {
+		e.Srcs[i] = s
+	}
+	e.NSrc = uint8(len(srcs))
+	return e
+}
+
+func load(pc, addr uint64, w uint8, dst isa.Reg, base isa.Reg) Entry {
+	return Entry{PC: pc, Op: isa.OpLD, Addr: addr, MemW: w, Dst: dst,
+		Srcs: [2]isa.Reg{base}, NSrc: 1, Flags: FlagHasDst | FlagLoad}
+}
+
+func store(pc, addr uint64, w uint8, val, base isa.Reg) Entry {
+	return Entry{PC: pc, Op: isa.OpSD, Addr: addr, MemW: w,
+		Srcs: [2]isa.Reg{base, val}, NSrc: 2, Flags: FlagStore}
+}
+
+func branch(pc uint64, taken bool, next uint64) Entry {
+	e := Entry{PC: pc, Op: isa.OpBNE, Next: next, Flags: FlagCondBranch}
+	if taken {
+		e.Flags |= FlagTaken
+	}
+	return e
+}
+
+func TestFlags(t *testing.T) {
+	e := Entry{Flags: FlagHasDst | FlagLoad | FlagTaken | FlagCondBranch | FlagCall | FlagReturn | FlagIndirect}
+	if !e.HasDst() || !e.IsLoad() || !e.Taken() || !e.IsCondBranch() ||
+		!e.IsCall() || !e.IsReturn() || !e.IsIndirect() {
+		t.Fatalf("flag accessors wrong")
+	}
+	var zero Entry
+	if zero.IsStore() {
+		t.Fatalf("zero entry claims to store")
+	}
+}
+
+func TestNextOccurrence(t *testing.T) {
+	tr := &Trace{Entries: []Entry{
+		{PC: 0x100}, {PC: 0x104}, {PC: 0x100}, {PC: 0x108}, {PC: 0x100},
+	}}
+	if got := tr.NextOccurrence(0x100, 0); got != 2 {
+		t.Fatalf("NextOccurrence = %d, want 2", got)
+	}
+	if got := tr.NextOccurrence(0x100, 2); got != 4 {
+		t.Fatalf("NextOccurrence = %d, want 4", got)
+	}
+	if got := tr.NextOccurrence(0x100, 4); got != -1 {
+		t.Fatalf("NextOccurrence past last = %d, want -1", got)
+	}
+	if got := tr.NextOccurrence(0x999, 0); got != -1 {
+		t.Fatalf("NextOccurrence of absent PC = %d, want -1", got)
+	}
+	// after=-1 includes index 0.
+	if got := tr.NextOccurrence(0x100, -1); got != 0 {
+		t.Fatalf("NextOccurrence from -1 = %d, want 0", got)
+	}
+	if occ := tr.Occurrences(0x100); len(occ) != 3 {
+		t.Fatalf("Occurrences = %v", occ)
+	}
+}
+
+func TestRegisterDeps(t *testing.T) {
+	tr := &Trace{Entries: []Entry{
+		alu(0x100, isa.T0),                 // 0: writes t0
+		alu(0x104, isa.T1, isa.T0),         // 1: reads t0 (from 0)
+		alu(0x108, isa.T0, isa.T1),         // 2: reads t1 (from 1), rewrites t0
+		alu(0x10c, isa.T2, isa.T0, isa.T1), // 3: t0 from 2, t1 from 1
+		alu(0x110, isa.T3, isa.T4),         // 4: t4 never written -> -1
+	}}
+	d := tr.ComputeDeps()
+	if d.RegProd[1][0] != 0 {
+		t.Fatalf("dep 1.t0 = %d, want 0", d.RegProd[1][0])
+	}
+	if d.RegProd[2][0] != 1 {
+		t.Fatalf("dep 2.t1 = %d, want 1", d.RegProd[2][0])
+	}
+	if d.RegProd[3][0] != 2 || d.RegProd[3][1] != 1 {
+		t.Fatalf("dep 3 = %v, want [2 1]", d.RegProd[3])
+	}
+	if d.RegProd[4][0] != -1 {
+		t.Fatalf("dep on initial state must be -1")
+	}
+}
+
+func TestMemoryDeps(t *testing.T) {
+	tr := &Trace{Entries: []Entry{
+		store(0x100, 0x1000, 8, isa.T0, isa.SP), // 0
+		load(0x104, 0x1000, 8, isa.T1, isa.SP),  // 1: exact overlap -> 0
+		load(0x108, 0x1004, 4, isa.T2, isa.SP),  // 2: partial overlap -> 0
+		load(0x10c, 0x1008, 8, isa.T3, isa.SP),  // 3: adjacent, no overlap -> -1
+		store(0x110, 0x1004, 1, isa.T0, isa.SP), // 4: overwrites one byte
+		load(0x114, 0x1000, 8, isa.T4, isa.SP),  // 5: youngest overlapping store = 4
+	}}
+	d := tr.ComputeDeps()
+	if d.MemProd[1] != 0 || d.MemProd[2] != 0 {
+		t.Fatalf("overlapping loads wrong: %d %d", d.MemProd[1], d.MemProd[2])
+	}
+	if d.MemProd[3] != -1 {
+		t.Fatalf("non-overlapping load = %d, want -1", d.MemProd[3])
+	}
+	if d.MemProd[5] != 4 {
+		t.Fatalf("youngest overlapping store = %d, want 4", d.MemProd[5])
+	}
+	// Stores have no MemProd.
+	if d.MemProd[0] != -1 || d.MemProd[4] != -1 {
+		t.Fatalf("stores must have MemProd -1")
+	}
+}
+
+func TestBranchProfiles(t *testing.T) {
+	tr := &Trace{Entries: []Entry{
+		branch(0x100, true, 0x200),
+		branch(0x100, false, 0x104),
+		branch(0x100, true, 0x200),
+		branch(0x104, false, 0x108),
+	}}
+	p := tr.BranchProfiles()
+	if p[0x100].Executed != 3 || p[0x100].Taken != 2 {
+		t.Fatalf("profile 0x100 = %+v", p[0x100])
+	}
+	if p[0x104].Executed != 1 || p[0x104].Taken != 0 {
+		t.Fatalf("profile 0x104 = %+v", p[0x104])
+	}
+}
+
+func TestIndirectTargets(t *testing.T) {
+	jr := Entry{PC: 0x100, Op: isa.OpJR, Next: 0x300, Flags: FlagIndirect}
+	jr2 := jr
+	jr2.Next = 0x200
+	ret := Entry{PC: 0x104, Op: isa.OpJR, Next: 0x400, Flags: FlagIndirect | FlagReturn}
+	tr := &Trace{Entries: []Entry{jr, jr2, jr, ret}}
+	ts := tr.IndirectTargets()
+	if got := ts[0x100]; len(got) != 2 || got[0] != 0x200 || got[1] != 0x300 {
+		t.Fatalf("indirect targets = %v", got)
+	}
+	// Returns are indirect too and legitimately recorded; the CFG builder
+	// ignores them, but the profile keeps them.
+	if _, ok := ts[0x104]; !ok {
+		t.Fatalf("return targets missing from profile")
+	}
+}

@@ -1,0 +1,95 @@
+package workloads
+
+import "fmt"
+
+// Bzip2 models the block-sorting compressor's front end: run-length coding
+// over the input followed by a move-to-front transform whose search and
+// shift loops have data-dependent trip counts. The blend of predictable
+// run detection, data-dependent loops, and a value-dependent hammock gives
+// several spawn categories a foothold, as in the paper's bzip2 results.
+func Bzip2() Workload {
+	r := rng(0xb21b2)
+	var d dataBuilder
+
+	const (
+		inputLen = 5600
+		alphabet = 16
+	)
+
+	inBase := d.addr()
+	prev := int64(0)
+	for i := 0; i < inputLen; i++ {
+		if r.Intn(3) == 0 { // start a new run
+			prev = int64(r.Intn(alphabet))
+		}
+		d.emit(prev)
+	}
+	mtfBase := d.addr()
+	for i := 0; i < alphabet; i++ {
+		d.emit(int64(i))
+	}
+	outBase := d.reserve(8)
+
+	src := fmt.Sprintf(`# bzip2: run-length coding + move-to-front
+        .text
+        .func main
+main:
+        li   $s0, %d              # input cursor
+        li   $s1, %d              # input end
+        li   $s5, %d              # MTF table
+        li   $s6, %d              # output cell
+        li   $s2, 0               # output accumulator
+        li   $s3, -1              # previous symbol
+        li   $s4, 0               # run length
+rle_loop:
+        ld   $t0, 0($s0)
+        bne  $t0, $s3, rle_flush  # run break (data-dependent, runs common)
+        addi $s4, $s4, 1
+        j    rle_next
+rle_flush:
+        # Emit the finished run, then MTF-encode the new symbol.
+        sll  $t1, $s4, 2
+        add  $s2, $s2, $t1
+        move $s3, $t0
+        li   $s4, 1
+        # MTF search: find the symbol's current rank (trip count = rank).
+        li   $t2, 0               # rank
+        move $t3, $s5
+mtf_search:
+        ld   $t4, 0($t3)
+        beq  $t4, $t0, mtf_found
+        addi $t3, $t3, 8
+        addi $t2, $t2, 1
+        slti $t5, $t2, %d
+        bne  $t5, $zero, mtf_search
+mtf_found:
+        add  $s2, $s2, $t2
+        # Rank-dependent hammock: small ranks are cheap to re-encode.
+        slti $t5, $t2, 4
+        bne  $t5, $zero, mtf_shift
+        addi $s2, $s2, 9
+        xori $s2, $s2, 0x15
+mtf_shift:
+        # Shift table entries [0, rank) down by one, put symbol at front.
+        blez $t2, mtf_done
+        move $t6, $t3             # position of found symbol
+mtf_shift_loop:
+        ld   $t7, -8($t6)
+        sd   $t7, 0($t6)
+        addi $t6, $t6, -8
+        addi $t2, $t2, -1
+        bgtz $t2, mtf_shift_loop
+        sd   $t0, 0($s5)
+mtf_done:
+rle_next:
+        addi $s0, $s0, 8
+        blt  $s0, $s1, rle_loop
+        sll  $t1, $s4, 2
+        add  $s2, $s2, $t1
+        sd   $s2, 0($s6)
+        halt
+
+%s`, inBase, inBase+8*inputLen, mtfBase, outBase, alphabet, d.section())
+
+	return Workload{Name: "bzip2", Source: src, MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import "fmt"
+
+// Crafty models the chess engine: an outer loop over positions, each
+// searched by a recursive minimax-style routine whose evaluation contains
+// cascades of hard-to-predict conditionals over bitboard state, a
+// cross-jump into a shared arm (an "other"-category postdominator), and a
+// data-dependent popcount loop. A whole-position search is far larger than
+// the spawn-distance bound, so loop-iteration spawning cannot parallelize
+// it; the gains come from hammocks (and "other") inside the evaluation —
+// matching the paper, where hammock spawns speed up crafty while other
+// heuristics have little impact.
+func Crafty() Workload {
+	var d dataBuilder
+	historyBase := d.reserve(256)
+	resultCell := d.reserve(2)
+
+	const (
+		positions = 260
+		depth     = 3 // binary tree: 2^(depth+1)-1 = 15 nodes per position
+	)
+
+	src := fmt.Sprintf(`# crafty: recursive search with hard evaluation branches
+        .text
+        .func main
+main:
+        li   $s7, 88172645463325252   # xorshift state
+        li   $s0, %d                  # positions
+        li   $s2, 0                   # total score
+        li   $s6, %d                  # history table
+main_loop:
+        sll  $t0, $s7, 13
+        xor  $s7, $s7, $t0
+        srl  $t0, $s7, 7
+        xor  $s7, $s7, $t0
+        sll  $t0, $s7, 17
+        xor  $s7, $s7, $t0
+        move $a0, $s7
+        li   $a1, %d
+        jal  search
+        add  $s2, $s2, $v0
+        addi $s0, $s0, -1
+        bgtz $s0, main_loop
+        li   $t9, %d
+        sd   $s2, 0($t9)
+        halt
+
+        # search(state, depth) -> score
+        .func search
+search:
+        addi $sp, $sp, -40
+        sd   $ra, 0($sp)
+        sd   $s3, 8($sp)
+        sd   $s4, 16($sp)
+        sd   $s5, 24($sp)
+        move $s3, $a0             # node state
+        move $s4, $a1             # remaining depth
+        li   $s5, 0               # node score
+
+        # Evolve the node state (move generation hash).
+        sll  $t0, $s3, 7
+        xor  $s3, $s3, $t0
+        srl  $t0, $s3, 9
+        xor  $s3, $s3, $t0
+
+        # --- evaluation: level-1 hammock (side to move, ~50%%) ---
+        andi $t1, $s3, 1
+        beq  $t1, $zero, ev_black
+        srl  $t2, $s3, 8
+        andi $t2, $t2, 255
+        add  $s5, $s5, $t2
+        sll  $t3, $t2, 3
+        add  $t3, $t3, $s6
+        ld   $t4, 0($t3)          # history heuristic counter
+        addi $t4, $t4, 1
+        sd   $t4, 0($t3)
+        andi $t5, $s3, 2          # level-2 nested hammock (~50%%)
+        beq  $t5, $zero, ev_wq
+        xor  $s5, $s5, $t2
+        addi $s5, $s5, 7
+        sll  $t6, $t2, 1
+        add  $s5, $s5, $t6
+        sra  $t6, $s5, 3
+        sub  $s5, $s5, $t6
+        j    ev_join1
+ev_wq:
+        sub  $s5, $s5, $t2
+        addi $s5, $s5, 3
+        sll  $t6, $s5, 1
+        xor  $s5, $s5, $t6
+        andi $s5, $s5, 0xffffff
+        j    ev_join1
+ev_black:
+        srl  $t2, $s3, 16
+        andi $t2, $t2, 255
+        sub  $s5, $s5, $t2
+        sll  $t3, $t2, 3
+        add  $t3, $t3, $s6
+        ld   $t4, 0($t3)
+        addi $t4, $t4, -1
+        sd   $t4, 0($t3)
+        addi $s5, $s5, 21
+        sra  $t6, $s5, 2
+        add  $s5, $s5, $t6
+ev_join1:
+        # --- pawn structure: cross-jump into the king-safety arm
+        #     ("other" postdominators) ---
+        andi $t1, $s3, 16
+        beq  $t1, $zero, ev_king
+        srl  $t6, $s3, 24
+        andi $t6, $t6, 63
+        add  $s5, $s5, $t6
+        sll  $t7, $t6, 2
+        sub  $s5, $s5, $t7
+        j    ev_shared_tail
+ev_king:
+        andi $t6, $s3, 32
+        beq  $t6, $zero, ev_join2
+        addi $s5, $s5, 11
+        sll  $t7, $s5, 1
+        xor  $s5, $s5, $t7
+ev_shared_tail:
+        sra  $t7, $s5, 2
+        xor  $s5, $s5, $t7
+        andi $s5, $s5, 0xfffff
+ev_join2:
+        # --- mobility: data-dependent popcount loop (1-8 trips) ---
+        srl  $t0, $s3, 32
+        andi $t0, $t0, 255
+        li   $t1, 0
+pop_loop:
+        andi $t3, $t0, 1
+        add  $t1, $t1, $t3
+        srl  $t0, $t0, 1
+        bne  $t0, $zero, pop_loop
+        add  $s5, $s5, $t1
+
+        # --- recursion: two children unless at a leaf ---
+        blez $s4, search_leaf
+        srl  $a0, $s3, 1
+        xori $a0, $a0, 0x3c5a
+        addi $a1, $s4, -1
+        jal  search
+        add  $s5, $s5, $v0
+        sll  $a0, $s3, 1
+        xor  $a0, $a0, $s3
+        addi $a1, $s4, -1
+        jal  search
+        sub  $s5, $s5, $v0        # negamax flavor
+search_leaf:
+        move $v0, $s5
+        ld   $ra, 0($sp)
+        ld   $s3, 8($sp)
+        ld   $s4, 16($sp)
+        ld   $s5, 24($sp)
+        addi $sp, $sp, 40
+        ret
+
+%s`, positions, historyBase, depth, resultCell, d.section())
+
+	return Workload{Name: "crafty", Source: src, MaxInstrs: 1_500_000}
+}

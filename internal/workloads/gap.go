@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Gap models the SPEC2000 gap computer-algebra interpreter: a bytecode
+// fetch-decode loop dispatching through indirect calls to two dozen
+// handlers, several of which contain short counted loops over small
+// vectors. Procedure fall-throughs let the machine fetch past whole
+// handler invocations, and the handler loops expose loop fall-through
+// opportunities.
+func Gap() Workload {
+	r := rng(0x6a9)
+	var d dataBuilder
+
+	const (
+		numOps    = 24
+		codeLen   = 4500
+		vecLen    = 16 // 16 cells * 8 bytes = 128-byte stride (shift 7)
+		workCells = 64
+	)
+
+	// Bytecode stream.
+	codeBase := d.addr()
+	for i := 0; i < codeLen; i++ {
+		d.emit(int64(r.Intn(numOps)))
+	}
+	// Operand vectors and a scratch area.
+	vecBase := d.addr()
+	for i := 0; i < vecLen*numOps; i++ {
+		d.emit(int64(r.Intn(1 << 16)))
+	}
+	workBase := d.reserve(workCells)
+	d.reserve(256) // guard region under the VM stack
+	vmStack := d.reserve(1600)
+	handlers := caseLabels("gap_op", numOps)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `# gap: bytecode interpreter with indirect handler calls
+        .text
+        .func main
+main:
+        li   $s0, %d              # bytecode pointer
+        li   $s1, %d              # bytecode end
+        la   $s5, gap_table
+        li   $s6, %d              # vector base
+        li   $s7, %d              # work area
+        li   $s3, %d              # VM evaluation stack pointer
+        li   $s2, 0               # accumulator
+interp_loop:
+        ld   $t0, 0($s0)          # opcode
+        sll  $t1, $t0, 3
+        add  $t1, $t1, $s5
+        ld   $t2, 0($t1)          # handler address
+        sll  $a0, $t0, %d         # vector offset for this op
+        add  $a0, $a0, $s6
+        jalr $ra, $t2             # dispatch (indirect call)
+        .targets %s
+        add  $s2, $s2, $v0
+        addi $s0, $s0, 8
+        blt  $s0, $s1, interp_loop
+        sd   $s2, 0($s7)
+        halt
+
+`, codeBase, codeBase+8*codeLen, vecBase, workBase, vmStack, 7, strings.Join(handlers, ", "))
+
+	// Handlers: a mix of straight-line arithmetic ops and loopy vector ops.
+	for m := 0; m < numOps; m++ {
+		fmt.Fprintf(&b, "        .func gap_op%d\ngap_op%d:\n", m, m)
+		if m%3 == 0 {
+			// Vector reduction: a short counted inner loop (loop and
+			// loop-fall-through spawn material).
+			iters := 4 + r.Intn(5)
+			fmt.Fprintf(&b, "        li   $t3, %d\n        li   $v0, 0\n        move $t4, $a0\n", iters)
+			fmt.Fprintf(&b, "gap_op%d_loop:\n", m)
+			fmt.Fprintf(&b, "        ld   $t5, 0($t4)\n")
+			fmt.Fprintf(&b, "        add  $v0, $v0, $t5\n")
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "        xori $v0, $v0, %d\n", r.Intn(255))
+			}
+			fmt.Fprintf(&b, "        addi $t4, $t4, 8\n")
+			fmt.Fprintf(&b, "        addi $t3, $t3, -1\n")
+			fmt.Fprintf(&b, "        bgtz $t3, gap_op%d_loop\n", m)
+			for k := 0; k < 4+r.Intn(6); k++ {
+				fmt.Fprintf(&b, "        addi $v0, $v0, %d\n", 1+r.Intn(7))
+			}
+			// Push the reduction onto the VM evaluation stack: interpreter
+			// state carried through memory serializes iteration-grained
+			// tasks, as in the real interpreter.
+			fmt.Fprintf(&b, "        sd   $v0, 0($s3)\n        addi $s3, $s3, 8\n")
+		} else if m%4 == 1 {
+			// Combine op: pop two VM stack cells, push the result.
+			fmt.Fprintf(&b, "        addi $s3, $s3, -8\n        ld   $t5, 0($s3)\n")
+			fmt.Fprintf(&b, "        addi $s3, $s3, -8\n        ld   $t6, 0($s3)\n")
+			fmt.Fprintf(&b, "        add  $v0, $t5, $t6\n")
+			for k := 0; k < 6+r.Intn(8); k++ {
+				switch r.Intn(3) {
+				case 0:
+					fmt.Fprintf(&b, "        xor  $v0, $v0, $t5\n")
+				case 1:
+					fmt.Fprintf(&b, "        sll  $t6, $t6, 1\n        add  $v0, $v0, $t6\n")
+				case 2:
+					fmt.Fprintf(&b, "        addi $v0, $v0, %d\n", 1+r.Intn(9))
+				}
+			}
+			fmt.Fprintf(&b, "        sd   $v0, 0($s3)\n        addi $s3, $s3, 8\n")
+		} else {
+			// Straight-line arithmetic with one biased hammock.
+			fmt.Fprintf(&b, "        ld   $v0, 0($a0)\n        ld   $t5, 8($a0)\n")
+			for k := 0; k < 10+r.Intn(14); k++ {
+				switch r.Intn(4) {
+				case 0:
+					fmt.Fprintf(&b, "        add  $v0, $v0, $t5\n")
+				case 1:
+					fmt.Fprintf(&b, "        mul  $t5, $t5, $v0\n")
+				case 2:
+					fmt.Fprintf(&b, "        srl  $t6, $v0, %d\n        xor  $v0, $v0, $t6\n", 1+r.Intn(5))
+				case 3:
+					fmt.Fprintf(&b, "        ld   $t6, %d($a0)\n        add  $t5, $t5, $t6\n", 8*r.Intn(vecLen))
+				}
+			}
+			fmt.Fprintf(&b, "        andi $t6, $v0, 511\n")
+			fmt.Fprintf(&b, "        bne  $t6, $zero, gap_op%d_done\n", m)
+			fmt.Fprintf(&b, "        addi $v0, $v0, 31\n")
+			fmt.Fprintf(&b, "gap_op%d_done:\n", m)
+		}
+		fmt.Fprintf(&b, "        ret\n\n")
+	}
+
+	b.WriteString(d.section())
+	fmt.Fprintf(&b, "gap_table:\n        .word8 %s\n", strings.Join(handlers, ", "))
+
+	return Workload{Name: "gap", Source: b.String(), MaxInstrs: 1_500_000}
+}

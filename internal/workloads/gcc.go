@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GCC models the compiler's irregular control flow: a pass over an IR node
+// array dispatching through a switch (indirect jump), with per-kind
+// processing made of if-else chains of mixed predictability, cross-jumps
+// into shared cleanup code, utility calls, and an occasional operand scan
+// loop. No single heuristic dominates; the full postdominator set helps
+// modestly, as in the paper.
+func GCC() Workload {
+	r := rng(0x6cc)
+	var d dataBuilder
+
+	const (
+		numKinds = 12
+		numNodes = 5200
+	)
+
+	// IR nodes: {kind, a, b}. Kinds arrive in short runs (a pass visits
+	// clusters of same-kind nodes), so the switch target is predictable
+	// part of the time, as for real compiler IR.
+	nodeBase := d.addr()
+	for i := 0; i < numNodes; {
+		kind := int64(r.Intn(numKinds))
+		run := 2 + r.Intn(5)
+		for j := 0; j < run && i < numNodes; j++ {
+			d.emit(kind, int64(r.Intn(1<<16)), int64(r.Intn(1<<16)))
+			i++
+		}
+	}
+	scratch := d.reserve(32)
+	kinds := caseLabels("gk", numKinds)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `# gcc: switch dispatch and irregular if-else chains
+        .text
+        .func main
+main:
+        li   $s0, %d              # node cursor
+        li   $s1, %d              # node end
+        la   $s5, kind_table
+        li   $s6, %d              # scratch
+        li   $s2, 0               # folded constant accumulator
+pass_loop:
+        ld   $t0, 0($s0)          # kind
+        ld   $s3, 8($s0)          # operand a
+        ld   $s4, 16($s0)         # operand b
+        sll  $t1, $t0, 3
+        add  $t1, $t1, $s5
+        ld   $t2, 0($t1)
+        jr   $t2                  # the big switch
+        .targets %s
+`, nodeBase, nodeBase+24*numNodes, scratch, strings.Join(kinds, ", "))
+
+	for m := 0; m < numKinds; m++ {
+		fmt.Fprintf(&b, "gk%d:\n", m)
+		switch m % 4 {
+		case 0:
+			// Constant folding: an if-else chain with one hard compare.
+			fmt.Fprintf(&b, "        blt  $s3, $s4, gk%d_lt\n", m)
+			fmt.Fprintf(&b, "        sub  $t3, $s3, $s4\n        add  $s2, $s2, $t3\n        j gk%d_done\n", m)
+			fmt.Fprintf(&b, "gk%d_lt:\n        sub  $t3, $s4, $s3\n        xor  $s2, $s2, $t3\n", m)
+			fmt.Fprintf(&b, "gk%d_done:\n", m)
+		case 1:
+			// Cross-jump into a shared simplification tail ("other").
+			fmt.Fprintf(&b, "        andi $t3, $s3, 1\n")
+			fmt.Fprintf(&b, "        beq  $t3, $zero, gk%d_alt\n", m)
+			fmt.Fprintf(&b, "        add  $s2, $s2, $s3\n        j    gk%d_tail\n", m)
+			fmt.Fprintf(&b, "gk%d_alt:\n        andi $t4, $s4, 1\n", m)
+			fmt.Fprintf(&b, "        beq  $t4, $zero, gk%d_out\n", m)
+			fmt.Fprintf(&b, "        add  $s2, $s2, $s4\n")
+			fmt.Fprintf(&b, "gk%d_tail:\n        sra  $t5, $s2, 1\n        xor  $s2, $s2, $t5\n", m)
+			fmt.Fprintf(&b, "gk%d_out:\n", m)
+		case 2:
+			// Utility call (register pressure / live-range bookkeeping).
+			fmt.Fprintf(&b, "        move $a0, $s3\n        move $a1, $s4\n        jal  gcc_hash\n        add  $s2, $s2, $v0\n")
+		case 3:
+			// Operand scan: a short loop with a data-dependent early exit.
+			fmt.Fprintf(&b, "        li   $t3, 6\n        move $t4, $s3\n")
+			fmt.Fprintf(&b, "gk%d_scan:\n", m)
+			fmt.Fprintf(&b, "        andi $t5, $t4, 7\n")
+			fmt.Fprintf(&b, "        beq  $t5, $zero, gk%d_hit\n", m)
+			fmt.Fprintf(&b, "        srl  $t4, $t4, 3\n        addi $t3, $t3, -1\n")
+			fmt.Fprintf(&b, "        bgtz $t3, gk%d_scan\n", m)
+			fmt.Fprintf(&b, "        j    gk%d_miss\n", m)
+			fmt.Fprintf(&b, "gk%d_hit:\n        addi $s2, $s2, 13\n", m)
+			fmt.Fprintf(&b, "gk%d_miss:\n        sd   $s2, %d($s6)\n", m, 8*(m%4))
+		}
+		// Per-kind epilogue: attribute/flag maintenance widens the case
+		// bodies so the dispatch jump is a smaller fraction of the work.
+		for k := 0; k < 9+r.Intn(8); k++ {
+			switch r.Intn(4) {
+			case 0:
+				fmt.Fprintf(&b, "        addi $s2, $s2, %d\n", 1+r.Intn(5))
+			case 1:
+				fmt.Fprintf(&b, "        xor  $s2, $s2, $s3\n")
+			case 2:
+				fmt.Fprintf(&b, "        sll  $t6, $s4, %d\n        add  $s2, $s2, $t6\n", 1+r.Intn(3))
+			case 3:
+				fmt.Fprintf(&b, "        sra  $t6, $s2, %d\n        sub  $s2, $s2, $t6\n", 2+r.Intn(4))
+			}
+		}
+		fmt.Fprintf(&b, "        j    pass_next\n")
+	}
+
+	fmt.Fprintf(&b, `pass_next:
+        andi $s2, $s2, 0xffffff
+        addi $s0, $s0, 24
+        blt  $s0, $s1, pass_loop
+        sd   $s2, 0($s6)
+        halt
+
+        .func gcc_hash
+gcc_hash:
+        mul  $v0, $a0, $a1
+        srl  $t9, $v0, 7
+        xor  $v0, $v0, $t9
+        andi $t8, $a0, 15
+        beq  $t8, $zero, gcc_hash_skip
+        addi $v0, $v0, 97
+gcc_hash_skip:
+        andi $v0, $v0, 8191
+        ret
+
+%s
+kind_table:
+        .word8 %s
+`, d.section(), strings.Join(kinds, ", "))
+
+	return Workload{Name: "gcc", Source: b.String(), MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import "fmt"
+
+// Gzip models LZ77 deflation: a sequential pass hashing each position,
+// probing a short hash chain, and extending matches byte by byte. Branches
+// are largely predictable and the data is streamed, so the superscalar
+// already runs fast; speculative parallelization gains are modest and come
+// mostly from the inner-loop structure, as the paper observes for gzip.
+func Gzip() Workload {
+	r := rng(0x621f)
+	var d dataBuilder
+
+	const (
+		inputLen = 9000
+		hashSize = 1024
+		matchMax = 12
+	)
+
+	// Input: byte-ish values with repetitive structure so matches exist.
+	inBase := d.addr()
+	prev := int64(0)
+	for i := 0; i < inputLen; i++ {
+		if r.Intn(4) != 0 { // runs and repeats are common
+			d.emit(prev)
+		} else {
+			prev = int64(r.Intn(32))
+			d.emit(prev)
+		}
+	}
+	headBase := d.reserve(hashSize)
+	outBase := d.reserve(8)
+
+	src := fmt.Sprintf(`# gzip: hash-chain LZ with match extension
+        .text
+        .func main
+main:
+        li   $s0, %d              # input cursor (cell index as address)
+        li   $s1, %d              # input end (minus match window)
+        li   $s5, %d              # hash heads
+        li   $s6, %d              # output accumulator cell
+        li   $s2, 0               # emitted tokens
+        li   $s4, 0               # rolling hash
+deflate_loop:
+        ld   $t0, 0($s0)          # current symbol
+        sll  $t1, $s4, 5
+        add  $t1, $t1, $t0
+        sub  $s4, $t1, $s4        # h = h*31 + c
+        andi $s4, $s4, %d         # mod hash size
+        sll  $t2, $s4, 3
+        add  $t2, $t2, $s5
+        ld   $t3, 0($t2)          # chain head (candidate position)
+        sd   $s0, 0($t2)          # update head
+        beq  $t3, $zero, gz_literal
+        # match extension loop: compare up to matchMax symbols
+        li   $t4, 0               # match length
+        move $t5, $t3
+        move $t6, $s0
+gz_match_loop:
+        ld   $t7, 0($t5)
+        ld   $t8, 0($t6)
+        bne  $t7, $t8, gz_match_done
+        addi $t4, $t4, 1
+        addi $t5, $t5, 8
+        addi $t6, $t6, 8
+        slti $t9, $t4, %d
+        bne  $t9, $zero, gz_match_loop
+gz_match_done:
+        slti $t9, $t4, 3
+        bne  $t9, $zero, gz_literal
+        # emit match token, skip ahead
+        sll  $t7, $t4, 4
+        add  $s2, $s2, $t7
+        sll  $t8, $t4, 3
+        add  $s0, $s0, $t8
+        j    gz_advance
+gz_literal:
+        add  $s2, $s2, $t0
+        addi $s2, $s2, 1
+gz_advance:
+        addi $s0, $s0, 8
+        blt  $s0, $s1, deflate_loop
+        sd   $s2, 0($s6)
+        halt
+
+%s`, inBase, inBase+8*(inputLen-matchMax-1), headBase, outBase,
+		hashSize-1, matchMax, d.section())
+
+	return Workload{Name: "gzip", Source: src, MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import "fmt"
+
+// MCF models SPEC2000 mcf's primal network simplex pricing loop
+// (primal_bea_mpp): an outer loop refills a basket by scanning arcs in an
+// inner loop — a pointer chase over an arc array that thrashes the L1 data
+// cache, with data-dependent branches fed directly by the missing loads —
+// then processes the basket. A superscalar stalls twice per arc — once for
+// the miss, once for the late-resolving mispredict — while hammock spawns
+// let PolyFlow fetch the control-independent continuation, and the inner
+// loop's fall-through exposes basket-level (outer loop) parallelism. The
+// paper reports a 16% loss for mcf when hammock spawns are removed, and a
+// further loss without "other" spawns.
+//
+// The arc successor pointers form one random permutation cycle over all
+// arcs: a uniformly random successor graph would collapse onto an
+// O(sqrt(N)) rho-cycle that fits in the L1 cache and whose branch sequence
+// the predictor can learn, which is nothing like mcf.
+func MCF() Workload {
+	r := rng(0x3cf)
+	var d dataBuilder
+
+	const (
+		numArcs    = 8192 // 8K arcs * 32B = 256 KB: L1D-thrashing, L2-resident
+		baskets    = 800
+		basketSize = 7 // arcs scanned per basket refill
+	)
+
+	perm := r.Perm(numArcs)
+	next := make([]int, numArcs)
+	for i := 0; i < numArcs; i++ {
+		next[perm[i]] = perm[(i+1)%numArcs]
+	}
+	arcBase := d.addr()
+	for i := 0; i < numArcs; i++ {
+		cost := int64(r.Intn(2001) - 1000) // sign ~50/50: a hard branch
+		capv := int64(r.Intn(2001) - 1000)
+		d.emit(cost, 0, capv, int64(arcBase)+32*int64(next[i]))
+	}
+	resultCell := d.reserve(4)
+
+	src := fmt.Sprintf(`# mcf: basket pricing with miss-fed hard branches
+        .text
+        .func main
+main:
+        li   $s0, %d              # current arc
+        li   $s1, %d              # baskets
+        li   $s2, 0               # total reduced cost
+        li   $s3, 0               # basis changes
+        li   $s6, %d              # result cells
+basket_loop:
+        li   $s4, %d              # arcs per basket
+        li   $s5, 0               # basket value
+arc_loop:
+        ld   $t0, 0($s0)          # cost          (usually misses)
+        ld   $t1, 16($s0)         # cap
+        # Fixed-arc guard (as in mcf's basket refill: fixed arcs are
+        # skipped). Rarely taken, but its immediate postdominator is the
+        # whole arc body's continuation — the postdominator analysis finds
+        # the loop-iteration spawn here.
+        slti $t9, $t0, -995
+        bne  $t9, $zero, arc_next
+        bltz $t0, arc_negative    # hard branch fed by the missing load
+        # in-tree arc: accumulate reduced cost
+        add  $s5, $s5, $t0
+        sra  $t2, $t0, 3
+        sub  $s5, $s5, $t2
+        sll  $t3, $t0, 1
+        xor  $t2, $t2, $t3
+        add  $s5, $s5, $t2
+        andi $s5, $s5, 0xfffffff
+        j    arc_join1
+arc_negative:
+        # entering arc: update flow and potentials
+        ld   $t2, 8($s0)          # flow
+        sub  $t2, $t2, $t0
+        sd   $t2, 8($s0)
+        addi $s3, $s3, 1
+        sll  $t3, $t2, 2
+        sub  $t3, $t3, $t2
+        sra  $t3, $t3, 1
+        add  $s5, $s5, $t3
+        andi $s5, $s5, 0xfffffff
+arc_join1:
+        bltz $t1, arc_capped      # second hard branch
+        sub  $t3, $t1, $t0
+        add  $s5, $s5, $t3
+        sra  $t4, $t3, 2
+        sub  $s5, $s5, $t4
+        sll  $t4, $t3, 1
+        xor  $s5, $s5, $t4
+        andi $s5, $s5, 0xfffffff
+        j    arc_join2
+arc_capped:
+        addi $s5, $s5, 7
+        sll  $t4, $t1, 1
+        sub  $t4, $zero, $t4
+        add  $s5, $s5, $t4
+        andi $s5, $s5, 0xfffffff
+arc_join2:
+        # Complex flow: the residual check jumps into the middle of the
+        # rebalance arm, so the rebalance tail is control dependent on two
+        # branches without being dominated by either ("other" spawns).
+        and  $t4, $t0, $t1
+        andi $t4, $t4, 1
+        beq  $t4, $zero, arc_rebal
+        xor  $t5, $t0, $t1
+        sra  $t5, $t5, 1
+        add  $s5, $s5, $t5
+        j    arc_rebal_tail
+arc_rebal:
+        andi $t6, $t1, 2
+        beq  $t6, $zero, arc_next
+        sub  $s5, $s5, $t0
+arc_rebal_tail:
+        addi $s3, $s3, 1
+        andi $s3, $s3, 0xffff
+arc_next:
+        ld   $s0, 24($s0)         # next arc (pointer chase)
+        addi $s4, $s4, -1
+        bgtz $s4, arc_loop        # inner loop: basket refill
+        # basket processing: fold the basket into the running totals
+        add  $s2, $s2, $s5
+        sra  $t7, $s5, 3
+        sub  $s2, $s2, $t7
+        sll  $t7, $s5, 1
+        xor  $s2, $s2, $t7
+        andi $s2, $s2, 0xfffffff
+        sra  $t8, $s2, 6
+        add  $s2, $s2, $t8
+        sd   $s2, 0($s6)
+        addi $s1, $s1, -1
+        bgtz $s1, basket_loop     # outer loop over baskets
+        sd   $s2, 0($s6)
+        sd   $s3, 8($s6)
+        halt
+
+%s`, arcBase, baskets, resultCell, basketSize, d.section())
+
+	return Workload{Name: "mcf", Source: src, MaxInstrs: 1_500_000}
+}

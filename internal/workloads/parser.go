@@ -1,0 +1,138 @@
+package workloads
+
+import "fmt"
+
+// Parser models SPEC2000 parser's recursive descent over a token stream:
+// mutually recursive parse functions whose token-class tests are
+// data-dependent, with call-heavy structure and small reduction loops. The
+// mix gives procedure fall-throughs, hammocks and loop fall-throughs each a
+// share of the spawn opportunities.
+func Parser() Workload {
+	r := rng(0x9a25e4)
+	var d dataBuilder
+
+	const numTokens = 9000
+
+	// Token stream: 0-3 atoms, 4-5 unary ops, 6-7 binary ops, 8 open, 9 close.
+	tokBase := d.addr()
+	for i := 0; i < numTokens; i++ {
+		d.emit(int64(r.Intn(10)))
+	}
+	scratch := d.reserve(16)
+
+	src := fmt.Sprintf(`# parser: recursive descent over a random token stream
+        .text
+        .func main
+main:
+        li   $s0, %d              # token cursor
+        li   $s1, %d              # token end
+        li   $s6, %d              # scratch
+        li   $s2, 0               # parse value
+main_loop:
+        bge  $s0, $s1, main_done
+        li   $a0, 6               # depth budget
+        jal  parse_expr
+        add  $s2, $s2, $v0
+main_loop_cont:
+        blt  $s0, $s1, main_loop
+main_done:
+        sd   $s2, 0($s6)
+        halt
+
+        # parse_expr(depth): term { binop term }*
+        .func parse_expr
+parse_expr:
+        addi $sp, $sp, -24
+        sd   $ra, 0($sp)
+        sd   $s3, 8($sp)
+        move $s3, $a0
+        jal  parse_term
+        move $t8, $v0
+expr_loop:
+        bge  $s0, $s1, expr_done
+        ld   $t0, 0($s0)          # peek token
+        slti $t1, $t0, 6
+        bne  $t1, $zero, expr_done   # not a binop: reduce
+        slti $t1, $t0, 8
+        beq  $t1, $zero, expr_done   # bracket: reduce
+        addi $s0, $s0, 8          # consume binop
+        move $a0, $s3
+        jal  parse_term
+        andi $t2, $t8, 1          # hard: which combiner
+        beq  $t2, $zero, expr_add
+        xor  $t8, $t8, $v0
+        j    expr_loop
+expr_add:
+        add  $t8, $t8, $v0
+        j    expr_loop
+expr_done:
+        move $v0, $t8
+        ld   $ra, 0($sp)
+        ld   $s3, 8($sp)
+        addi $sp, $sp, 24
+        ret
+
+        # parse_term(depth): atom | unary term | ( expr )
+        .func parse_term
+parse_term:
+        addi $sp, $sp, -16
+        sd   $ra, 0($sp)
+        bge  $s0, $s1, term_eof
+        ld   $t0, 0($s0)
+        addi $s0, $s0, 8          # consume
+        slti $t1, $t0, 4
+        bne  $t1, $zero, term_atom
+        slti $t1, $t0, 6
+        bne  $t1, $zero, term_unary
+        slti $t1, $t0, 8
+        bne  $t1, $zero, term_binop_as_atom
+        beq  $t0, $zero, term_atom  # unreachable guard
+        blez $s3, term_atom_deep     # depth exhausted: treat as atom
+        ld   $t2, 0($s0)            # token after bracket
+        addi $t3, $t0, -8
+        bne  $t3, $zero, term_close
+        addi $s3, $s3, -1
+        move $a0, $s3
+        jal  parse_expr             # recursive call
+        addi $s3, $s3, 1
+        sll  $v0, $v0, 1
+        j    term_ret
+term_close:
+        li   $v0, 1
+        j    term_ret
+term_atom_deep:
+        li   $v0, 7
+        j    term_ret
+term_binop_as_atom:
+        addi $v0, $t0, 3
+        j    term_ret
+term_unary:
+        # unary: small reduction loop over following atoms (1-4 trips)
+        andi $t4, $t0, 3
+        addi $t4, $t4, 1
+        li   $v0, 0
+term_unary_loop:
+        bge  $s0, $s1, term_ret
+        ld   $t5, 0($s0)
+        slti $t6, $t5, 4
+        beq  $t6, $zero, term_ret   # next isn't an atom: stop
+        addi $s0, $s0, 8
+        add  $v0, $v0, $t5
+        addi $t4, $t4, -1
+        bgtz $t4, term_unary_loop
+        j    term_ret
+term_atom:
+        sll  $v0, $t0, 2
+        addi $v0, $v0, 1
+        j    term_ret
+term_eof:
+        li   $v0, 0
+term_ret:
+        ld   $ra, 0($sp)
+        addi $sp, $sp, 16
+        ret
+
+%s`, tokBase, tokBase+8*numTokens, scratch, d.section())
+
+	return Workload{Name: "parser", Source: src, MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import "fmt"
+
+// Twolf reproduces the paper's motivating example (Section 2.3, Figure 6):
+// the new_dbox_a function of SPEC2000 twolf. The kernel walks an outer
+// linked list of terminals; for each, an inner linked list of nets
+// (averaging three nodes, as the paper reports) is traversed. The inner
+// body contains the if-then-else on netptr->flag — taken about 30% of the
+// time — and the two ABS() if-then hammocks, each taken about 50% of the
+// time, with the next-pointer loads placed immediately before the loop
+// branches, exactly as in the paper's assembly listing.
+//
+// The real twolf calls new_dbox_a repeatedly with fresh flags; here main
+// re-flags the net nodes between calls (a cheap, predictable setup pass
+// over the contiguous node array), keeping the flag branch at ~30% taken
+// on every pass and giving the data set cross-pass cache reuse.
+func Twolf() Workload {
+	r := rng(0x7201f)
+	var d dataBuilder
+
+	const (
+		outerNodes = 400
+		passes     = 7
+		oldMean    = 500
+		newMean    = 480
+	)
+
+	costCell := d.emit(0)
+
+	// Terminal nodes first (contiguous): {nextterm, netptr}.
+	termBase := d.addr()
+	for i := 0; i < outerNodes; i++ {
+		next := int64(0)
+		if i+1 < outerNodes {
+			next = int64(termBase + uint64(16*(i+1)))
+		}
+		d.emit(next, 0) // netptr patched below
+	}
+
+	// Net nodes second (contiguous): {nterm, xpos, flag, newx}.
+	netBase := d.addr()
+	numNets := 0
+	for i := 0; i < outerNodes; i++ {
+		n := 1 + r.Intn(5) // avg 3 inner iterations
+		first := d.addr()
+		d.patch(termBase+uint64(16*i)+8, int64(first))
+		for j := 0; j < n; j++ {
+			next := int64(0)
+			if j+1 < n {
+				next = int64(d.addr() + 32)
+			}
+			xpos := int64(oldMean + r.Intn(201) - 100) // ABS sign ~50/50
+			newx := int64(newMean + r.Intn(201) - 100)
+			d.emit(next, xpos, 0, newx) // flag written by the re-flag pass
+			numNets++
+		}
+	}
+
+	src := fmt.Sprintf(`# twolf: the new_dbox_a kernel of Figure 6
+        .text
+        .func main
+main:
+        li   $s4, %d              # passes
+        li   $s5, 1               # pass-varying flag salt
+main_pass:
+        # Re-flag pass: flag = ((xpos * salt) >> 5) & 3 < 3, i.e. ~75%% ones.
+        li   $t0, %d              # net node cursor
+        li   $t1, %d              # net region end
+reflag_loop:
+        ld   $t2, 8($t0)          # xpos
+        mul  $t2, $t2, $s5
+        srl  $t2, $t2, 5
+        andi $t2, $t2, 3
+        slti $t3, $t2, 3
+        sd   $t3, 16($t0)         # flag
+        addi $t0, $t0, 32
+        blt  $t0, $t1, reflag_loop
+        addi $s5, $s5, 2          # new salt each pass
+
+        li   $a0, %d              # antrmptr
+        li   $a1, %d              # costptr
+        jal  new_dbox_a
+        addi $s4, $s4, -1
+        bgtz $s4, main_pass
+        halt
+
+        .func new_dbox_a
+new_dbox_a:
+        li   $t9, %d              # new_mean
+        li   $t8, %d              # old_mean
+        ld   $s2, 0($a1)          # *costptr
+        beq  $a0, $zero, outer_done
+outer_body:
+        ld   $s0, 8($a0)          # netptr = termptr->netptr
+        beq  $s0, $zero, inner_done
+inner_body:
+        ld   $t0, 16($s0)         # netptr->flag
+        ld   $t1, 8($s0)          # oldx = netptr->xpos
+        li   $t2, 1
+        bne  $t0, $t2, else_part  # if-then-else branch (~30%% taken)
+        ld   $t3, 24($s0)         # newx = netptr->newx
+        sd   $zero, 16($s0)       # netptr->flag = 0
+        j    join1
+else_part:
+        move $t3, $t1             # newx = oldx
+join1:
+        sub  $t4, $t3, $t9        # ABS(newx - new_mean)
+        bgez $t4, join2           # if-then hammock (~50%% taken)
+        neg  $t4, $t4
+join2:
+        sub  $t5, $t1, $t8        # ABS(oldx - old_mean)
+        bgez $t5, join3           # if-then hammock (~50%% taken)
+        neg  $t5, $t5
+join3:
+        sub  $t6, $t4, $t5
+        add  $s2, $s2, $t6        # *costptr += ...
+        ld   $s0, 0($s0)          # netptr = netptr->nterm (just before the branch)
+        bne  $s0, $zero, inner_body   # inner loop branch
+inner_done:
+        ld   $a0, 0($a0)          # termptr = termptr->nextterm
+        bne  $a0, $zero, outer_body   # outer loop branch
+outer_done:
+        sd   $s2, 0($a1)
+        ret
+
+%s`, passes, netBase, netBase+uint64(32*numNets), termBase, costCell,
+		newMean, oldMean, d.section())
+
+	return Workload{Name: "twolf", Source: src, MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vortex models the call-heavy object store of SPEC2000 vortex: a main
+// transaction loop calls a two-level access layer that indirectly invokes
+// one of many medium-sized method bodies. The aggregate code footprint
+// exceeds the 8 KB L1 I-cache, so the superscalar stalls on instruction
+// misses inside callees — the situation in which procedure fall-through
+// spawns shine (the paper reports a 56% loss for vortex when procFT spawns
+// are removed).
+func Vortex() Workload {
+	r := rng(0x40e7e)
+	var d dataBuilder
+
+	const (
+		numMethods = 48
+		iterations = 2280 // total obj_access calls (transactions * 6)
+		recordLen  = 16   // 8-byte fields per object record
+	)
+
+	// Object records, one per method.
+	recBase := d.addr()
+	for i := 0; i < numMethods*recordLen; i++ {
+		d.emit(int64(r.Intn(1 << 20)))
+	}
+	methods := caseLabels("obj_m", numMethods)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `# vortex: layered object store, large code footprint
+        .text
+        .func main
+main:
+        li   $s0, 0               # access counter
+        li   $s1, %d              # total accesses
+        la   $s5, method_table
+        li   $s6, %d              # record base
+main_loop:
+        # One transaction touches six objects; a whole transaction exceeds
+        # the spawn-distance bound, so only the per-call fall-throughs can
+        # parallelize it.
+        move $a0, $s0
+        jal  obj_access
+        addi $a0, $s0, 1
+        jal  obj_access
+        addi $a0, $s0, 2
+        jal  obj_access
+        addi $a0, $s0, 3
+        jal  obj_access
+        addi $a0, $s0, 4
+        jal  obj_access
+        addi $a0, $s0, 5
+        jal  obj_access
+        addi $s0, $s0, 6
+        blt  $s0, $s1, main_loop
+        halt
+
+        .func obj_access
+obj_access:
+        addi $sp, $sp, -16
+        sd   $ra, 0($sp)
+        li   $t0, %d
+        rem  $t1, $a0, $t0        # method index
+        sll  $t2, $t1, 3
+        add  $t2, $t2, $s5
+        ld   $t3, 0($t2)          # method entry
+        sll  $a1, $t1, 7
+        add  $a1, $a1, $s6        # record address (16 fields * 8 bytes)
+        jalr $ra, $t3             # indirect method call
+        .targets %s
+        jal  obj_commit
+        ld   $ra, 0($sp)
+        addi $sp, $sp, 16
+        ret
+
+        .func obj_commit
+obj_commit:
+        ld   $t0, 0($a1)
+        ld   $t1, 8($a1)
+        add  $t0, $t0, $t1
+        xori $t0, $t0, 0x5a
+        sd   $t0, 0($a1)
+        addi $t2, $t0, 3
+        sll  $t2, $t2, 2
+        sd   $t2, 16($a1)
+        ret
+
+`, iterations, recBase, numMethods, strings.Join(methods, ", "))
+
+	// Method bodies: field shuffles with a rarely-taken validation
+	// hammock, ~55 instructions each; 48 of them overflow the L1 I-cache.
+	for m := 0; m < numMethods; m++ {
+		fmt.Fprintf(&b, "        .func obj_m%d\nobj_m%d:\n", m, m)
+		fmt.Fprintf(&b, "        ld   $t0, 0($a1)\n        ld   $t1, 8($a1)\n")
+		n := 30 + r.Intn(14)
+		for k := 0; k < n; k++ {
+			switch r.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "        add  $t0, $t0, $t1\n")
+			case 1:
+				fmt.Fprintf(&b, "        xor  $t1, $t1, $t0\n")
+			case 2:
+				fmt.Fprintf(&b, "        sll  $t2, $t0, %d\n        add  $t1, $t1, $t2\n", 1+r.Intn(4))
+			case 3:
+				off := 8 * (2 + r.Intn(recordLen-3))
+				fmt.Fprintf(&b, "        ld   $t3, %d($a1)\n        add  $t0, $t0, $t3\n", off)
+			case 4:
+				off := 8 * (2 + r.Intn(recordLen-3))
+				fmt.Fprintf(&b, "        sd   $t1, %d($a1)\n", off)
+			}
+		}
+		fmt.Fprintf(&b, "        andi $t4, $t0, 1023\n")
+		fmt.Fprintf(&b, "        bne  $t4, $zero, obj_m%d_ok\n", m)
+		fmt.Fprintf(&b, "        addi $t0, $t0, 17\n        sd   $t0, 8($a1)\n")
+		fmt.Fprintf(&b, "obj_m%d_ok:\n", m)
+		for k := 0; k < 8; k++ {
+			fmt.Fprintf(&b, "        addi $t1, $t1, %d\n", 1+r.Intn(9))
+		}
+		fmt.Fprintf(&b, "        sd   $t0, 0($a1)\n        sd   $t1, 8($a1)\n        ret\n\n")
+	}
+
+	b.WriteString(d.section())
+	fmt.Fprintf(&b, "method_table:\n        .word8 %s\n", strings.Join(methods, ", "))
+
+	return Workload{Name: "vortex", Source: b.String(), MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,177 @@
+package workloads
+
+import "fmt"
+
+// VPRPlace models the placer's simulated annealing: each move picks two
+// cells, computes a cost delta, and accepts or rejects through a
+// ~50%-taken hammock (accept-on-improvement plus randomized hill
+// climbing). Hammock spawns jump over the unpredictable accept branch.
+func VPRPlace() Workload {
+	r := rng(0x4b1ace)
+	var d dataBuilder
+
+	const (
+		numCells = 2048
+		moves    = 4200
+	)
+
+	posBase := d.addr()
+	for i := 0; i < numCells; i++ {
+		d.emit(int64(r.Intn(4096)))
+	}
+	outBase := d.reserve(8)
+
+	src := fmt.Sprintf(`# vpr.place: simulated annealing with accept/reject hammocks
+        .text
+        .func main
+main:
+        li   $s7, 2463534242      # xorshift state
+        li   $s0, %d              # moves
+        li   $s5, %d              # position array
+        li   $s6, %d              # output cell
+        li   $s2, 0               # total cost
+        move $s3, $s5             # &pos[a] for the first move
+        addi $s4, $s5, 64         # &pos[b] for the first move
+anneal_loop:
+        # The move's cell addresses were computed at the end of the
+        # previous iteration (the annealer pipelines its RNG), so the
+        # loads issue immediately.
+        move $t1, $s3
+        move $t2, $s4
+        # Degenerate-move guard (the placer skips from==to moves). Its
+        # immediate postdominator is the whole move's continuation, so the
+        # postdominator analysis recovers the loop-iteration spawn.
+        beq  $t1, $t2, place_next
+        ld   $t3, 0($t1)
+        ld   $t4, 0($t2)
+
+        # delta = wirelength change estimate
+        sub  $t5, $t3, $t4
+        bgez $t5, place_abs       # ABS hammock (~50%%)
+        neg  $t5, $t5
+place_abs:
+        srl  $t6, $s7, 24
+        andi $t6, $t6, 1023
+        sub  $t7, $t5, $t6        # delta - temperature noise
+
+        bltz $t7, place_accept    # accept branch (~50%%, hard)
+        # reject: bookkeeping only
+        addi $s2, $s2, 1
+        sra  $t8, $t5, 4
+        add  $s2, $s2, $t8
+        j    place_next
+place_accept:
+        # accept: swap the cells and incrementally update the bounding
+        # boxes of the nets around each endpoint (a short recompute loop).
+        sd   $t4, 0($t1)
+        sd   $t3, 0($t2)
+        add  $s2, $s2, $t5
+        li   $t8, 4               # fanout cells to touch
+place_bb_loop:
+        ld   $t3, 8($t1)          # neighbor position
+        add  $s2, $s2, $t3
+        sra  $t4, $t3, 2
+        sub  $s2, $s2, $t4
+        addi $t1, $t1, 8
+        addi $t8, $t8, -1
+        bgtz $t8, place_bb_loop
+        andi $s2, $s2, 0xffffff
+place_next:
+        # xorshift64 and next move's cell picks (software-pipelined)
+        sll  $t0, $s7, 13
+        xor  $s7, $s7, $t0
+        srl  $t0, $s7, 7
+        xor  $s7, $s7, $t0
+        sll  $t0, $s7, 17
+        xor  $s7, $s7, $t0
+        andi $t0, $s7, %d
+        sll  $t0, $t0, 3
+        add  $s3, $t0, $s5        # next &pos[a]
+        srl  $t0, $s7, 16
+        andi $t0, $t0, %d
+        sll  $t0, $t0, 3
+        add  $s4, $t0, $s5        # next &pos[b]
+        addi $s0, $s0, -1
+        bgtz $s0, anneal_loop
+        sd   $s2, 0($s6)
+        halt
+
+%s`, moves, posBase, outBase, numCells-1, numCells-1, d.section())
+
+	return Workload{Name: "vpr.place", Source: src, MaxInstrs: 1_000_000}
+}
+
+// VPRRoute models the router's maze expansion: for each net, an inner
+// wavefront loop walks the routing-resource cost array until it finds a
+// cheap node (a data-dependent break after a handful of iterations) or
+// exhausts its budget, followed by commit work. The loop fall-through —
+// the immediate postdominator of both the break and the latch — is the
+// decisive spawn point (the paper reports a 29% loss for vpr.route without
+// loopFT spawns).
+func VPRRoute() Workload {
+	r := rng(0x4b07e)
+	var d dataBuilder
+
+	const (
+		gridSize = 4096
+		numNets  = 1600
+		budget   = 31
+	)
+
+	costBase := d.addr()
+	for i := 0; i < gridSize; i++ {
+		// ~8% of nodes are "cheap": geometric break around 12 trips.
+		if r.Intn(100) < 8 {
+			d.emit(int64(r.Intn(50)))
+		} else {
+			d.emit(int64(100 + r.Intn(900)))
+		}
+	}
+	outBase := d.reserve(8)
+
+	src := fmt.Sprintf(`# vpr.route: maze expansion with data-dependent breaks
+        .text
+        .func main
+main:
+        li   $s0, %d              # nets
+        li   $s5, %d              # cost grid
+        li   $s6, %d              # output cell
+        li   $s2, 0               # routed cost
+        li   $s3, 12345           # expansion cursor seed
+route_net:
+        li   $t0, %d              # expansion budget
+        li   $t1, 0               # accumulated path cost
+expand_loop:
+        # pseudo-random walk over the grid
+        li   $t9, 1103515245
+        mul  $s3, $s3, $t9
+        addi $s3, $s3, 12345
+        srl  $t2, $s3, 8
+        andi $t2, $t2, %d
+        sll  $t2, $t2, 3
+        add  $t2, $t2, $s5
+        ld   $t3, 0($t2)          # node cost
+        add  $t1, $t1, $t3
+        slti $t4, $t3, 100
+        bne  $t4, $zero, expand_found   # break: cheap node reached (hard)
+        addi $t0, $t0, -1
+        bgtz $t0, expand_loop     # latch
+        # budget exhausted: fall through with a penalty
+        addi $t1, $t1, 500
+expand_found:
+        # commit the route for this net
+        add  $s2, $s2, $t1
+        sra  $t5, $t1, 4
+        sub  $s2, $s2, $t5
+        sd   $t1, 0($s6)          # record the net's path cost
+        andi $t6, $s2, 0xfffffff
+        move $s2, $t6
+        addi $s0, $s0, -1
+        bgtz $s0, route_net       # outer loop over nets
+        sd   $s2, 0($s6)
+        halt
+
+%s`, numNets, costBase, outBase, budget, gridSize-1, d.section())
+
+	return Workload{Name: "vpr.route", Source: src, MaxInstrs: 1_500_000}
+}

@@ -1,0 +1,152 @@
+// Package workloads provides the twelve synthetic benchmark programs that
+// stand in for the paper's SPEC2000int binaries (see DESIGN.md §2 for the
+// substitution argument). Each program is written in the repository's
+// assembly language and engineered to exhibit the control-flow property the
+// paper attributes to its namesake benchmark:
+//
+//	bzip2      run-length/MTF coding: mixed loops and data-dependent hammocks
+//	crafty     deeply nested hard-to-predict conditionals over bitboards
+//	gap        bytecode interpreter with indirect calls into many handlers
+//	gcc        irregular code: switch dispatch, if-else chains, many blocks
+//	gzip       LZ-style hashing with predictable inner loops
+//	mcf        pointer chasing with cache misses feeding hard branches
+//	parser     recursive descent over a random token stream
+//	perlbmk    indirect-jump dispatch interpreter (hard BTB targets)
+//	twolf      the paper's new_dbox_a kernel (Figure 6), faithfully ported
+//	vortex     call-heavy layered object store with a large code footprint
+//	vpr.place  simulated annealing: ~50% accept/reject hammocks
+//	vpr.route  maze expansion loops with data-dependent breaks under an outer loop
+//
+// Program sizes are scaled to a few hundred thousand dynamic instructions
+// (the paper runs 100M per benchmark after fast-forward).
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Workload is one synthetic benchmark.
+type Workload struct {
+	Name   string
+	Source string
+	// MaxInstrs is the emulation cap; programs halt well before it.
+	MaxInstrs int
+}
+
+// Assemble assembles the workload (panicking on error: the built-in sources
+// are fixtures whose validity is asserted by tests).
+func (w Workload) Assemble() *isa.Program { return asm.MustAssemble(w.Source) }
+
+// All returns the twelve workloads in the paper's figure order.
+func All() []Workload {
+	return []Workload{
+		Bzip2(), Crafty(), Gap(), GCC(), Gzip(), MCF(),
+		Parser(), Perlbmk(), Twolf(), Vortex(), VPRPlace(), VPRRoute(),
+	}
+}
+
+// Names returns the workload names in figure order.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// dataBuilder lays out the .data segment as a sequence of 8-byte cells so
+// generators can link structures by absolute address (the data base is
+// fixed by the assembler).
+type dataBuilder struct {
+	words []int64
+}
+
+// addr returns the address the next emitted cell will occupy.
+func (d *dataBuilder) addr() uint64 {
+	return isa.DefaultDataBase + 8*uint64(len(d.words))
+}
+
+// emit appends cells and returns the address of the first.
+func (d *dataBuilder) emit(vals ...int64) uint64 {
+	a := d.addr()
+	d.words = append(d.words, vals...)
+	return a
+}
+
+// reserve appends n zero cells and returns the address of the first.
+func (d *dataBuilder) reserve(n int) uint64 {
+	a := d.addr()
+	d.words = append(d.words, make([]int64, n)...)
+	return a
+}
+
+// patch overwrites a previously emitted cell.
+func (d *dataBuilder) patch(addr uint64, v int64) {
+	i := (addr - isa.DefaultDataBase) / 8
+	d.words[i] = v
+}
+
+// section renders the .data directive block.
+func (d *dataBuilder) section() string {
+	var b strings.Builder
+	b.WriteString("        .data\n")
+	for i := 0; i < len(d.words); i += 8 {
+		end := i + 8
+		if end > len(d.words) {
+			end = len(d.words)
+		}
+		b.WriteString("        .word8 ")
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", d.words[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// rng returns the deterministic generator used by every workload builder,
+// so the suite is reproducible run to run.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// jumpTableTargets renders a .targets annotation for case labels.
+func jumpTableTargets(labels []string) string {
+	return "        .targets " + strings.Join(labels, ", ") + "\n"
+}
+
+// caseLabels builds n labels with a common prefix.
+func caseLabels(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+// sortedKeys is a tiny test/debug helper.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,249 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// The twelve SPEC2000int benchmarks of the paper (eon omitted there
+	// too), in figure order.
+	want := []string{
+		"bzip2", "crafty", "gap", "gcc", "gzip", "mcf",
+		"parser", "perlbmk", "twolf", "vortex", "vpr.place", "vpr.route",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("workload count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workload %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, n := range want {
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("eon"); ok {
+		t.Fatalf("eon should not exist")
+	}
+}
+
+// run emulates a workload to completion and returns its trace.
+func runWL(t *testing.T, name string) (*isa.Program, *trace.Trace) {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	p := w.Assemble()
+	tr, err := emu.Run(p, emu.Config{MaxInstrs: w.MaxInstrs})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p, tr
+}
+
+// TestAllWorkloadsRunToCompletion: every workload assembles, executes to a
+// clean halt under its cap, and is big enough to be a meaningful benchmark.
+func TestAllWorkloadsRunToCompletion(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			_, tr := runWL(t, w.Name)
+			if tr.Len() < 100_000 {
+				t.Errorf("%s: only %d dynamic instructions", w.Name, tr.Len())
+			}
+			if tr.Len() > w.MaxInstrs {
+				t.Errorf("%s: exceeded its own cap", w.Name)
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsAnalyzable: the spawn-point analysis succeeds and finds
+// spawn points in every workload.
+func TestAllWorkloadsAnalyzable(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p, tr := runWL(t, w.Name)
+			a, err := core.Analyze(p, tr.IndirectTargets())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Spawns) == 0 {
+				t.Fatalf("%s: no spawn points", w.Name)
+			}
+		})
+	}
+}
+
+// TestWorkloadCharacters asserts the control-flow property each synthetic
+// workload exists to exhibit (the substitution table of DESIGN.md).
+func TestWorkloadCharacters(t *testing.T) {
+	analyze := func(name string) (*isa.Program, *trace.Trace, map[core.Kind]int) {
+		p, tr := runWL(t, name)
+		a, err := core.Analyze(p, tr.IndirectTargets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, tr, a.CountByKind()
+	}
+
+	t.Run("twolf-figure6", func(t *testing.T) {
+		p, tr, kinds := analyze("twolf")
+		// The Figure 6 kernel: hammocks and loop branches dominate.
+		if kinds[core.KindHammock] < 3 || kinds[core.KindLoopFT] < 2 {
+			t.Errorf("twolf kinds = %v", kinds)
+		}
+		// The if-then-else on netptr->flag is taken ~30% of the time.
+		profiles := tr.BranchProfiles()
+		flagPC := findBranchAfter(p, "inner_body", 3)
+		prof := profiles[flagPC]
+		if prof == nil {
+			t.Fatalf("flag branch profile missing")
+		}
+		rate := float64(prof.Taken) / float64(prof.Executed)
+		if rate < 0.15 || rate > 0.45 {
+			t.Errorf("flag branch taken rate = %.2f, want ~0.30", rate)
+		}
+	})
+
+	t.Run("vortex-call-heavy", func(t *testing.T) {
+		p, tr, kinds := analyze("vortex")
+		if kinds[core.KindProcFT] < 3 {
+			t.Errorf("vortex procFT = %d", kinds[core.KindProcFT])
+		}
+		calls := 0
+		for i := range tr.Entries {
+			if tr.Entries[i].IsCall() {
+				calls++
+			}
+		}
+		if float64(calls)/float64(tr.Len()) < 0.01 {
+			t.Errorf("vortex call density too low: %d calls", calls)
+		}
+		// Code footprint must exceed the 8KB L1 I-cache.
+		if len(p.Code)*isa.InstSize < 8<<10 {
+			t.Errorf("vortex code footprint %dB fits the I-cache", len(p.Code)*isa.InstSize)
+		}
+	})
+
+	t.Run("perlbmk-indirect", func(t *testing.T) {
+		_, tr, kinds := analyze("perlbmk")
+		if kinds[core.KindOther] == 0 {
+			t.Errorf("perlbmk has no other-kind spawns")
+		}
+		indirect := 0
+		for i := range tr.Entries {
+			if tr.Entries[i].IsIndirect() && !tr.Entries[i].IsReturn() && !tr.Entries[i].IsCall() {
+				indirect++
+			}
+		}
+		if indirect < 5000 {
+			t.Errorf("perlbmk indirect jumps = %d", indirect)
+		}
+	})
+
+	t.Run("mcf-memory-bound", func(t *testing.T) {
+		_, tr, kinds := analyze("mcf")
+		if kinds[core.KindHammock] < 3 {
+			t.Errorf("mcf hammocks = %d", kinds[core.KindHammock])
+		}
+		if kinds[core.KindOther] == 0 {
+			t.Errorf("mcf must have an other-kind spawn (cross-jump)")
+		}
+		// The pointer walk must cover a large footprint: distinct load
+		// addresses far beyond the L1.
+		seen := map[uint64]bool{}
+		for i := range tr.Entries {
+			if tr.Entries[i].IsLoad() {
+				seen[tr.Entries[i].Addr&^63] = true
+			}
+		}
+		if len(seen)*64 < 64<<10 {
+			t.Errorf("mcf load footprint only %d bytes", len(seen)*64)
+		}
+	})
+
+	t.Run("parser-recursive", func(t *testing.T) {
+		_, tr, _ := analyze("parser")
+		depth, maxDepth := 0, 0
+		for i := range tr.Entries {
+			if tr.Entries[i].IsCall() {
+				depth++
+				if depth > maxDepth {
+					maxDepth = depth
+				}
+			}
+			if tr.Entries[i].IsReturn() {
+				depth--
+			}
+		}
+		if maxDepth < 3 {
+			t.Errorf("parser max call depth = %d, want recursion", maxDepth)
+		}
+	})
+
+	t.Run("vpr.route-breaks", func(t *testing.T) {
+		_, _, kinds := analyze("vpr.route")
+		if kinds[core.KindLoopFT] < 1 {
+			t.Errorf("vpr.route loopFT spawns = %d", kinds[core.KindLoopFT])
+		}
+	})
+
+	t.Run("gzip-predictable", func(t *testing.T) {
+		_, tr, _ := analyze("gzip")
+		// Most branch executions should be biased (gzip is the
+		// predictable benchmark of the set).
+		hard := 0
+		total := 0
+		for _, prof := range tr.BranchProfiles() {
+			if prof.Executed < 100 {
+				continue
+			}
+			total++
+			rate := float64(prof.Taken) / float64(prof.Executed)
+			if rate > 0.35 && rate < 0.65 {
+				hard++
+			}
+		}
+		if total == 0 || hard*2 > total {
+			t.Errorf("gzip: %d of %d hot branches are coin flips", hard, total)
+		}
+	})
+}
+
+// findBranchAfter returns the PC of the n-th instruction after a label.
+func findBranchAfter(p *isa.Program, label string, n int) uint64 {
+	return p.Labels[label] + uint64(n*isa.InstSize)
+}
+
+func TestDataBuilder(t *testing.T) {
+	var d dataBuilder
+	a0 := d.emit(1, 2)
+	if a0 != isa.DefaultDataBase {
+		t.Fatalf("first cell at %x", a0)
+	}
+	a1 := d.reserve(3)
+	if a1 != isa.DefaultDataBase+16 {
+		t.Fatalf("reserve at %x", a1)
+	}
+	d.patch(a0+8, 42)
+	if d.words[1] != 42 {
+		t.Fatalf("patch failed")
+	}
+	sec := d.section()
+	if sec == "" || d.addr() != isa.DefaultDataBase+40 {
+		t.Fatalf("section/addr wrong")
+	}
+}

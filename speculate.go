@@ -1,0 +1,159 @@
+// Package speculate is the public facade of this repository's reproduction
+// of "Exploiting Postdominance for Speculative Parallelization" (Agarwal,
+// Malik, Woley, Stone, Frank — HPCA 2007).
+//
+// The typical pipeline is:
+//
+//	bench, err := speculate.Load("twolf")          // assemble + emulate + analyze
+//	base, _ := bench.RunSuperscalar()              // 8-wide baseline
+//	res, _ := bench.RunPolicy(core.PolicyPostdoms, machine.PolyFlowConfig())
+//	fmt.Printf("speedup %.1f%%\n", speculate.SpeedupPct(base, res))
+//
+// Programs are written in the repository's MIPS-like assembly (internal/asm),
+// executed functionally to obtain the retired dynamic trace (internal/emu),
+// analyzed for control-equivalent spawn points from branch immediate
+// postdominators (internal/core), and finally simulated on the cycle-level
+// PolyFlow/superscalar timing model (internal/machine). The dynamic
+// reconvergence predictor of Section 4.4 lives in internal/reconv.
+package speculate
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/reconv"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Bench is a prepared benchmark: program, dynamic trace, dependence
+// information, and the static spawn-point analysis.
+type Bench struct {
+	Name     string
+	Prog     *isa.Program
+	Trace    *trace.Trace
+	Deps     *trace.Deps
+	Analysis *core.Analysis
+}
+
+// Assemble assembles source text into a program image.
+func Assemble(src string) (*isa.Program, error) { return asm.Assemble(src) }
+
+// Prepare assembles (if needed) and emulates the program, then runs the
+// profile-assisted postdominator analysis (indirect-jump targets observed
+// in the trace augment the static jump tables, as in the paper's
+// profile-driven analysis).
+func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
+	tr, err := emu.Run(prog, emu.Config{MaxInstrs: maxInstrs})
+	if err != nil {
+		return nil, fmt.Errorf("speculate: emulating %s: %w", name, err)
+	}
+	// The paper's simulator compares every retired instruction against an
+	// architectural simulator; since the timing models are trace-driven,
+	// verifying the trace here gives the same guarantee up front.
+	if err := emu.Check(prog, tr); err != nil {
+		return nil, fmt.Errorf("speculate: architectural check of %s failed: %w", name, err)
+	}
+	an, err := core.Analyze(prog, tr.IndirectTargets())
+	if err != nil {
+		return nil, fmt.Errorf("speculate: analyzing %s: %w", name, err)
+	}
+	return &Bench{
+		Name:     name,
+		Prog:     prog,
+		Trace:    tr,
+		Deps:     tr.ComputeDeps(),
+		Analysis: an,
+	}, nil
+}
+
+var (
+	benchMu    sync.Mutex
+	benchCache = map[string]*Bench{}
+)
+
+// Load prepares (and memoizes) one of the built-in workloads by name.
+func Load(name string) (*Bench, error) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if b, ok := benchCache[name]; ok {
+		return b, nil
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.Names())
+	}
+	b, err := Prepare(w.Name, w.Assemble(), w.MaxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	benchCache[name] = b
+	return b, nil
+}
+
+// WorkloadNames lists the built-in benchmarks in the paper's figure order.
+func WorkloadNames() []string { return workloads.Names() }
+
+// defaultWarmup models the paper's fast-forward through initialization:
+// the first chunk of the trace only warms caches and predictors.
+func (b *Bench) defaultWarmup() int {
+	w := b.Trace.Len() / 5
+	if w > 50000 {
+		w = 50000
+	}
+	return w
+}
+
+func (b *Bench) fillWarmup(cfg *machine.Config) {
+	if cfg.WarmupInstrs == 0 {
+		cfg.WarmupInstrs = b.defaultWarmup()
+	}
+}
+
+// RunSuperscalar simulates the 8-wide superscalar baseline.
+func (b *Bench) RunSuperscalar() (machine.Result, error) {
+	cfg := machine.SuperscalarConfig()
+	b.fillWarmup(&cfg)
+	return machine.Run(b.Trace, b.Deps, nil, cfg)
+}
+
+// RunPolicy simulates PolyFlow with the given static spawn policy.
+func (b *Bench) RunPolicy(p core.Policy, cfg machine.Config) (machine.Result, error) {
+	cfg.Name = fmt.Sprintf("%s/%s", cfg.Name, p.Name)
+	b.fillWarmup(&cfg)
+	return machine.Run(b.Trace, b.Deps, p.Source(b.Analysis), cfg)
+}
+
+// RunRecPred simulates PolyFlow with the dynamic reconvergence predictor as
+// the spawn source (Section 4.4): the predictor starts cold and trains on
+// the retirement stream, so warm-up effects are modeled.
+func (b *Bench) RunRecPred(cfg machine.Config) (machine.Result, error) {
+	cfg.Name = cfg.Name + "/rec_pred"
+	b.fillWarmup(&cfg)
+	src := reconv.NewSource(reconv.New(reconv.DefaultConfig()), b.Prog)
+	return machine.Run(b.Trace, b.Deps, src, cfg)
+}
+
+// SpeedupPct returns the percent speedup of res over base, using cycle
+// counts (both runs retire the same instruction stream).
+func SpeedupPct(base, res machine.Result) float64 {
+	if res.Cycles == 0 {
+		return 0
+	}
+	return (float64(base.Cycles)/float64(res.Cycles) - 1) * 100
+}
+
+// LossPct returns the Figure 11 metric: the loss in percent speedup of
+// excl versus full, normalized to the superscalar IPC:
+// (IPC_full - IPC_excl) / IPC_superscalar * 100.
+func LossPct(base, full, excl machine.Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return (full.IPC - excl.IPC) / base.IPC * 100
+}
