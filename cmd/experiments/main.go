@@ -7,27 +7,61 @@
 //	experiments -fig 9            # a single figure (5, 8, 9, 10, 11, 12)
 //	experiments -fig 9 -format csv
 //	experiments -fig 12 -format json
+//	experiments -fig 9 -bench twolf -policy postdoms -trace-dir out/
+//
+// -bench and -policy take comma-separated lists and narrow the grid to the
+// named cells; -trace-dir attaches telemetry to every simulated cell and
+// writes a Chrome trace (Perfetto-loadable) plus a metrics summary per cell
+// into the directory. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
 )
 
-var format = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
+var (
+	format = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
+	bench  = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
+	policy = flag.String("policy", "", "comma-separated policy filter (default: all)")
+	traces = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
+)
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (0 = all)")
 	flag.Parse()
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
-	if err := run(want); err != nil {
+	if err := run(want, options()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// options assembles the harness Options from the filter flags.
+func options() harness.Options {
+	return harness.Options{
+		Benches:  splitList(*bench),
+		Policies: splitList(*policy),
+		TraceDir: *traces,
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func emitSpeedup(t *harness.SpeedupTable) error {
@@ -42,9 +76,9 @@ func emitSpeedup(t *harness.SpeedupTable) error {
 	}
 }
 
-func run(want func(int) bool) error {
+func run(want func(int) bool, o harness.Options) error {
 	if want(5) {
-		rows, err := harness.Figure5()
+		rows, err := harness.Figure5Opts(o)
 		if err != nil {
 			return err
 		}
@@ -60,7 +94,7 @@ func run(want func(int) bool) error {
 		fmt.Println(harness.Figure8())
 	}
 	if want(9) {
-		t, err := harness.Figure9()
+		t, err := harness.Figure9Opts(o)
 		if err != nil {
 			return err
 		}
@@ -69,7 +103,7 @@ func run(want func(int) bool) error {
 		}
 	}
 	if want(10) {
-		t, err := harness.Figure10()
+		t, err := harness.Figure10Opts(o)
 		if err != nil {
 			return err
 		}
@@ -78,7 +112,7 @@ func run(want func(int) bool) error {
 		}
 	}
 	if want(11) {
-		t, err := harness.Figure11()
+		t, err := harness.Figure11Opts(o)
 		if err != nil {
 			return err
 		}
@@ -91,7 +125,7 @@ func run(want func(int) bool) error {
 		}
 	}
 	if want(12) {
-		t, err := harness.Figure12()
+		t, err := harness.Figure12Opts(o)
 		if err != nil {
 			return err
 		}

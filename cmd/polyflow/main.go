@@ -6,7 +6,12 @@
 //	polyflow -bench twolf -policy postdoms
 //	polyflow -bench mcf -policy superscalar
 //	polyflow -bench gcc -policy rec_pred
+//	polyflow -bench twolf -policy postdoms -trace twolf.trace.json -metrics
 //	polyflow -list
+//
+// -trace writes the run's cycle timeline as Chrome trace-event JSON (open
+// it in Perfetto: ui.perfetto.dev); -metrics prints the full telemetry
+// summary after the run. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -24,6 +30,8 @@ func main() {
 	policyName := flag.String("policy", "postdoms", "spawn policy: superscalar, rec_pred, or one of the static policies")
 	tasks := flag.Int("tasks", 8, "maximum concurrent tasks")
 	verbose := flag.Bool("v", false, "print spawn-point statistics")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the telemetry metrics summary after the run")
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
 
@@ -37,7 +45,7 @@ func main() {
 		return
 	}
 
-	if err := run(*benchName, *policyName, *tasks, *verbose); err != nil {
+	if err := run(*benchName, *policyName, *tasks, *verbose, *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "polyflow:", err)
 		os.Exit(1)
 	}
@@ -50,7 +58,7 @@ func allPolicies() []core.Policy {
 	return ps
 }
 
-func run(benchName, policyName string, tasks int, verbose bool) error {
+func run(benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool) error {
 	b, err := speculate.Load(benchName)
 	if err != nil {
 		return err
@@ -64,17 +72,37 @@ func run(benchName, policyName string, tasks int, verbose bool) error {
 		}
 	}
 
+	// One Collector observes one run, so it is attached to whichever run the
+	// -policy flag selects (for "superscalar", the baseline itself).
+	var col *telemetry.Collector
+	if traceFile != "" || metrics {
+		n := 0 // metrics only
+		if traceFile != "" {
+			n = telemetry.DefaultTraceEvents
+		}
+		col = telemetry.NewCollector(telemetry.Config{TraceEvents: n})
+	}
+
+	if policyName == "superscalar" {
+		cfg := machine.SuperscalarConfig()
+		cfg.Telemetry = col
+		base, err := b.RunSuperscalarConfig(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(" ", base)
+		return finish(col, base, traceFile, metrics)
+	}
+
 	base, err := b.RunSuperscalar()
 	if err != nil {
 		return err
 	}
 	fmt.Println(" ", base)
-	if policyName == "superscalar" {
-		return nil
-	}
 
 	cfg := machine.PolyFlowConfig()
 	cfg.MaxTasks = tasks
+	cfg.Telemetry = col
 	var res machine.Result
 	if policyName == "rec_pred" {
 		res, err = b.RunRecPred(cfg)
@@ -108,6 +136,32 @@ func run(benchName, policyName string, tasks int, verbose bool) error {
 		fmt.Printf("  foreclosures=%d\n", res.Foreclosures)
 		fmt.Printf("  mispredicts=%d icacheMiss=%d dcacheMiss=%d l2Miss=%d icacheStall=%d\n",
 			res.Mispredicts, res.ICacheMisses, res.DCacheMisses, res.L2Misses, res.ICacheStallCycle)
+	}
+	return finish(col, res, traceFile, metrics)
+}
+
+// finish writes the trace file and/or prints the metrics summary.
+func finish(col *telemetry.Collector, res machine.Result, traceFile string, metrics bool) error {
+	if col == nil {
+		return nil
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f, res.Config); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  trace written to %s (load in ui.perfetto.dev)\n", traceFile)
+	}
+	if metrics {
+		fmt.Println()
+		col.WriteSummary(os.Stdout)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -22,6 +23,11 @@ type Config struct {
 	StackTop uint64
 	// Record disables trace recording when false... (zero value records).
 	NoTrace bool
+	// Metrics, when non-nil, receives the emu.* functional-execution
+	// counters (docs/OBSERVABILITY.md) once the run finishes. The stepping
+	// loop is untouched: counts are derived from the retired trace, so a
+	// nil registry costs nothing.
+	Metrics *telemetry.Registry
 }
 
 // DefaultMaxInstrs is the safety cap on retired instructions.
@@ -256,10 +262,53 @@ func Run(p *isa.Program, cfg Config) (*trace.Trace, error) {
 			return tr, err
 		}
 	}
+	if cfg.Metrics != nil {
+		publishMetrics(cfg.Metrics, m, tr)
+	}
 	if !m.Halted {
 		return tr, fmt.Errorf("emu: instruction cap %d reached without halt (PC 0x%x)", max, m.PC)
 	}
 	return tr, nil
+}
+
+// publishMetrics counts the retired instruction mix into reg. With trace
+// recording off only the retirement count is available.
+func publishMetrics(reg *telemetry.Registry, m *Machine, tr *trace.Trace) {
+	reg.Gauge("emu.retired").Set(m.Count)
+	if tr == nil {
+		return
+	}
+	var loads, stores, cond, taken, calls, returns, indirect int64
+	for i := range tr.Entries {
+		e := &tr.Entries[i]
+		switch {
+		case e.IsLoad():
+			loads++
+		case e.IsStore():
+			stores++
+		case e.IsCondBranch():
+			cond++
+			if e.Taken() {
+				taken++
+			}
+		}
+		if e.IsCall() {
+			calls++
+		}
+		if e.IsReturn() {
+			returns++
+		}
+		if e.IsIndirect() {
+			indirect++
+		}
+	}
+	reg.Counter("emu.loads").Add(loads)
+	reg.Counter("emu.stores").Add(stores)
+	reg.Counter("emu.cond_branches").Add(cond)
+	reg.Counter("emu.taken_branches").Add(taken)
+	reg.Counter("emu.calls").Add(calls)
+	reg.Counter("emu.returns").Add(returns)
+	reg.Counter("emu.indirect_jumps").Add(indirect)
 }
 
 func b2i(b bool) int64 {

@@ -8,6 +8,8 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,23 +17,128 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 )
+
+// Options narrows and instruments a figure run. The zero value reproduces
+// the full figure with no telemetry, exactly as the paper tables.
+type Options struct {
+	// Benches restricts the grid to the named workloads (figure order is
+	// kept); empty means all of them.
+	Benches []string
+	// Policies restricts the columns to the named policies; empty means
+	// all of them. For Figure 11 this filters the exclusion columns (the
+	// postdoms reference always runs — the loss metric needs it).
+	Policies []string
+	// TraceDir, when non-empty, attaches a telemetry Collector to every
+	// simulated cell and writes <bench>_<policy>.trace.json (Chrome
+	// trace-event JSON, loadable in Perfetto) plus
+	// <bench>_<policy>.metrics.txt into the directory, creating it if
+	// needed.
+	TraceDir string
+}
+
+func matches(filter []string, name string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Options) wantBench(name string) bool  { return matches(o.Benches, name) }
+func (o Options) wantPolicy(name string) bool { return matches(o.Policies, name) }
+
+// collector returns a fresh per-cell Collector, or nil when tracing is off.
+func (o Options) collector() *telemetry.Collector {
+	if o.TraceDir == "" {
+		return nil
+	}
+	return telemetry.NewCollector(telemetry.Config{TraceEvents: telemetry.DefaultTraceEvents})
+}
+
+// exportCell writes one cell's trace and metrics files under o.TraceDir.
+func (o Options) exportCell(bench, policy string, col *telemetry.Collector, res machine.Result) error {
+	if col == nil {
+		return nil
+	}
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return err
+	}
+	stem := filepath.Join(o.TraceDir, fileToken(bench)+"_"+fileToken(policy))
+	tf, err := os.Create(stem + ".trace.json")
+	if err != nil {
+		return err
+	}
+	werr := col.WriteChromeTrace(tf, res.Config)
+	if cerr := tf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	mf, err := os.Create(stem + ".metrics.txt")
+	if err != nil {
+		return err
+	}
+	werr = col.WriteSummary(mf)
+	if cerr := mf.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// fileToken makes a bench/policy name safe as a filename component
+// ("postdoms - loopFT" -> "postdoms-loopFT").
+func fileToken(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, strings.ReplaceAll(name, " - ", "-"))
+}
 
 // Benches returns the prepared benchmarks in figure order, preparing them
 // in parallel on first use.
 func Benches() ([]*speculate.Bench, error) {
-	names := speculate.WorkloadNames()
-	out := make([]*speculate.Bench, len(names))
-	errs := make([]error, len(names))
+	return BenchesNamed(nil)
+}
+
+// BenchesNamed returns the named benchmarks (all of them when names is
+// empty) in figure order, preparing them in parallel on first use.
+func BenchesNamed(names []string) ([]*speculate.Bench, error) {
+	all := speculate.WorkloadNames()
+	var wanted []string
+	for _, name := range all {
+		if matches(names, name) {
+			wanted = append(wanted, name)
+		}
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("harness: no benchmark matches %q (have %v)", names, all)
+	}
+	out := make([]*speculate.Bench, len(wanted))
+	errs := make([]error, len(wanted))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.NumCPU())
-	for i, name := range names {
+	for i, name := range wanted {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			out[i], errs[i] = speculate.Load(name)
+			if errs[i] != nil {
+				errs[i] = fmt.Errorf("bench %q: %w", name, errs[i])
+			}
 		}(i, name)
 	}
 	wg.Wait()
@@ -43,11 +150,12 @@ func Benches() ([]*speculate.Bench, error) {
 	return out, nil
 }
 
-// runGrid simulates every (bench, column) pair in parallel. run must be
-// goroutine-safe across distinct pairs.
-func runGrid(benches []*speculate.Bench, cols int,
+// runGrid simulates every (bench, column) pair in parallel; colNames label
+// the columns in errors. run must be goroutine-safe across distinct pairs.
+func runGrid(benches []*speculate.Bench, colNames []string,
 	run func(b *speculate.Bench, col int) (machine.Result, error)) ([][]machine.Result, error) {
 
+	cols := len(colNames)
 	res := make([][]machine.Result, len(benches))
 	errs := make([]error, len(benches)*cols)
 	for i := range res {
@@ -62,7 +170,11 @@ func runGrid(benches []*speculate.Bench, cols int,
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				res[i][c], errs[i*cols+c] = run(b, c)
+				r, err := run(b, c)
+				if err != nil {
+					err = fmt.Errorf("bench %q policy %q: %w", b.Name, colNames[c], err)
+				}
+				res[i][c], errs[i*cols+c] = r, err
 			}(i, c, b)
 		}
 	}
@@ -77,7 +189,7 @@ func runGrid(benches []*speculate.Bench, cols int,
 
 // baselines runs the superscalar for every bench, in parallel.
 func baselines(benches []*speculate.Bench) ([]machine.Result, error) {
-	grid, err := runGrid(benches, 1, func(b *speculate.Bench, _ int) (machine.Result, error) {
+	grid, err := runGrid(benches, []string{"superscalar"}, func(b *speculate.Bench, _ int) (machine.Result, error) {
 		return b.RunSuperscalar()
 	})
 	if err != nil {
@@ -156,9 +268,28 @@ func colWidth(name string) int {
 	return len(name)
 }
 
-// speedupTable runs the given policy columns over all benchmarks.
-func speedupTable(title string, policies []core.Policy, extra func(b *speculate.Bench) (machine.Result, error), extraName string) (*SpeedupTable, error) {
-	benches, err := Benches()
+// speedupTable runs the given policy columns over the selected benchmarks.
+// extra, when non-nil, appends one column computed outside the static
+// policy set (e.g. the dynamic reconvergence predictor); it receives the
+// cell's machine configuration with any telemetry already attached.
+func speedupTable(title string, policies []core.Policy,
+	extra func(b *speculate.Bench, cfg machine.Config) (machine.Result, error),
+	extraName string, o Options) (*SpeedupTable, error) {
+
+	var kept []core.Policy
+	for _, p := range policies {
+		if o.wantPolicy(p.Name) {
+			kept = append(kept, p)
+		}
+	}
+	policies = kept
+	if extra != nil && !o.wantPolicy(extraName) {
+		extra = nil
+	}
+	if len(policies) == 0 && extra == nil {
+		return nil, fmt.Errorf("harness: no policy matches %q in %s", o.Policies, title)
+	}
+	benches, err := BenchesNamed(o.Benches)
 	if err != nil {
 		return nil, err
 	}
@@ -166,15 +297,28 @@ func speedupTable(title string, policies []core.Policy, extra func(b *speculate.
 	if err != nil {
 		return nil, err
 	}
-	cols := len(policies)
-	if extra != nil {
-		cols++
+	colNames := make([]string, 0, len(policies)+1)
+	for _, p := range policies {
+		colNames = append(colNames, p.Name)
 	}
-	grid, err := runGrid(benches, cols, func(b *speculate.Bench, c int) (machine.Result, error) {
+	if extra != nil {
+		colNames = append(colNames, extraName)
+	}
+	grid, err := runGrid(benches, colNames, func(b *speculate.Bench, c int) (machine.Result, error) {
+		cfg := machine.PolyFlowConfig()
+		col := o.collector()
+		cfg.Telemetry = col
+		var res machine.Result
+		var err error
 		if c < len(policies) {
-			return b.RunPolicy(policies[c], machine.PolyFlowConfig())
+			res, err = b.RunPolicy(policies[c], cfg)
+		} else {
+			res, err = extra(b, cfg)
 		}
-		return extra(b)
+		if err != nil {
+			return res, err
+		}
+		return res, o.exportCell(b.Name, colNames[c], col, res)
 	})
 	if err != nil {
 		return nil, err
@@ -186,11 +330,7 @@ func speedupTable(title string, policies []core.Policy, extra func(b *speculate.
 		t.BaseIPC = append(t.BaseIPC, base[i].IPC)
 	}
 	t.Base = base
-	for c := 0; c < cols; c++ {
-		name := extraName
-		if c < len(policies) {
-			name = policies[c].Name
-		}
+	for c, name := range colNames {
 		t.Policies = append(t.Policies, name)
 		row := make([]float64, len(benches))
 		resRow := make([]machine.Result, len(benches))
@@ -206,28 +346,37 @@ func speedupTable(title string, policies []core.Policy, extra func(b *speculate.
 
 // Figure9 evaluates the individual heuristic policies and full
 // postdominator spawning.
-func Figure9() (*SpeedupTable, error) {
+func Figure9() (*SpeedupTable, error) { return Figure9Opts(Options{}) }
+
+// Figure9Opts is Figure9 narrowed/instrumented by o.
+func Figure9Opts(o Options) (*SpeedupTable, error) {
 	return speedupTable(
 		"Figure 9: Individual heuristic policies (speedup % over superscalar)",
-		core.IndividualPolicies(), nil, "")
+		core.IndividualPolicies(), nil, "", o)
 }
 
 // Figure10 evaluates the heuristic combination policies against postdoms.
-func Figure10() (*SpeedupTable, error) {
+func Figure10() (*SpeedupTable, error) { return Figure10Opts(Options{}) }
+
+// Figure10Opts is Figure10 narrowed/instrumented by o.
+func Figure10Opts(o Options) (*SpeedupTable, error) {
 	return speedupTable(
 		"Figure 10: Combination heuristics (speedup % over superscalar)",
-		core.CombinationPolicies(), nil, "")
+		core.CombinationPolicies(), nil, "", o)
 }
 
 // Figure12 evaluates dynamic reconvergence prediction against
 // compiler-generated postdominators.
-func Figure12() (*SpeedupTable, error) {
+func Figure12() (*SpeedupTable, error) { return Figure12Opts(Options{}) }
+
+// Figure12Opts is Figure12 narrowed/instrumented by o.
+func Figure12Opts(o Options) (*SpeedupTable, error) {
 	return speedupTable(
 		"Figure 12: Reconvergence-predictor spawning vs compiler postdominators",
 		[]core.Policy{core.PolicyPostdoms},
-		func(b *speculate.Bench) (machine.Result, error) {
-			return b.RunRecPred(machine.PolyFlowConfig())
-		}, "rec_pred")
+		func(b *speculate.Bench, cfg machine.Config) (machine.Result, error) {
+			return b.RunRecPred(cfg)
+		}, "rec_pred", o)
 }
 
 // LossTable is the Figure 11 result: per-benchmark loss in percent speedup
@@ -273,8 +422,13 @@ func (t *LossTable) Format() string {
 }
 
 // Figure11 measures the loss from excluding each spawn category.
-func Figure11() (*LossTable, error) {
-	benches, err := Benches()
+func Figure11() (*LossTable, error) { return Figure11Opts(Options{}) }
+
+// Figure11Opts is Figure11 narrowed/instrumented by o. The policy filter
+// selects exclusion columns; the postdoms reference always runs because
+// the loss metric is relative to it.
+func Figure11Opts(o Options) (*LossTable, error) {
+	benches, err := BenchesNamed(o.Benches)
 	if err != nil {
 		return nil, err
 	}
@@ -282,9 +436,28 @@ func Figure11() (*LossTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	policies := append([]core.Policy{core.PolicyPostdoms}, core.ExclusionPolicies()...)
-	grid, err := runGrid(benches, len(policies), func(b *speculate.Bench, c int) (machine.Result, error) {
-		return b.RunPolicy(policies[c], machine.PolyFlowConfig())
+	policies := []core.Policy{core.PolicyPostdoms}
+	for _, p := range core.ExclusionPolicies() {
+		if o.wantPolicy(p.Name) {
+			policies = append(policies, p)
+		}
+	}
+	if len(policies) == 1 {
+		return nil, fmt.Errorf("harness: no exclusion policy matches %q in Figure 11", o.Policies)
+	}
+	colNames := make([]string, len(policies))
+	for i, p := range policies {
+		colNames[i] = p.Name
+	}
+	grid, err := runGrid(benches, colNames, func(b *speculate.Bench, c int) (machine.Result, error) {
+		cfg := machine.PolyFlowConfig()
+		col := o.collector()
+		cfg.Telemetry = col
+		res, err := b.RunPolicy(policies[c], cfg)
+		if err != nil {
+			return res, err
+		}
+		return res, o.exportCell(b.Name, colNames[c], col, res)
 	})
 	if err != nil {
 		return nil, err
@@ -313,8 +486,11 @@ type Fig5Row struct {
 
 // Figure5 computes the static distribution of control-equivalent task
 // types per benchmark.
-func Figure5() ([]Fig5Row, error) {
-	benches, err := Benches()
+func Figure5() ([]Fig5Row, error) { return Figure5Opts(Options{}) }
+
+// Figure5Opts is Figure5 restricted to o's benchmark selection.
+func Figure5Opts(o Options) ([]Fig5Row, error) {
+	benches, err := BenchesNamed(o.Benches)
 	if err != nil {
 		return nil, err
 	}

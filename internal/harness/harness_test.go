@@ -1,10 +1,16 @@
 package harness
 
 import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/core"
+	"repro/internal/machine"
 )
 
 func TestFigure5(t *testing.T) {
@@ -211,5 +217,123 @@ func TestFigure12RecPredApproximates(t *testing.T) {
 	}
 	if close < 6 {
 		t.Errorf("rec_pred tracks postdoms closely on only %d/12 benchmarks", close)
+	}
+}
+
+func TestRunGridErrorContext(t *testing.T) {
+	benches, err := BenchesNamed([]string{"twolf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = runGrid(benches, []string{"ok", "bad"}, func(b *speculate.Bench, c int) (machine.Result, error) {
+		if c == 1 {
+			return machine.Result{}, boom
+		}
+		return machine.Result{}, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("wrapped error lost the cause: %v", err)
+	}
+	for _, want := range []string{`bench "twolf"`, `policy "bad"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing context %q", err, want)
+		}
+	}
+}
+
+func TestBenchesNamedUnknown(t *testing.T) {
+	_, err := BenchesNamed([]string{"nonesuch"})
+	if err == nil || !strings.Contains(err.Error(), "nonesuch") {
+		t.Fatalf("unknown bench error = %v", err)
+	}
+}
+
+func TestFigure9OptsFilter(t *testing.T) {
+	tab, err := Figure9Opts(Options{Benches: []string{"twolf"}, Policies: []string{"postdoms"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Benches) != 1 || tab.Benches[0] != "twolf" {
+		t.Fatalf("benches = %v, want [twolf]", tab.Benches)
+	}
+	if len(tab.Policies) != 1 || tab.Policies[0] != "postdoms" {
+		t.Fatalf("policies = %v, want [postdoms]", tab.Policies)
+	}
+	if tab.Speedup[0][0] == 0 {
+		t.Fatalf("filtered cell did not simulate")
+	}
+	if _, err := Figure9Opts(Options{Policies: []string{"nonesuch"}}); err == nil {
+		t.Fatal("unknown policy filter should error")
+	}
+}
+
+func TestFigure9OptsTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	tab, err := Figure9Opts(Options{
+		Benches:  []string{"twolf"},
+		Policies: []string{"postdoms"},
+		TraceDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Results[0][0].SpawnsTaken == 0 {
+		t.Fatalf("traced run took no spawns; trace would be empty")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "twolf_postdoms.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dt struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+			TS int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &dt); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	last := int64(-1)
+	slices := 0
+	for _, e := range dt.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("ts went backwards: %d after %d", e.TS, last)
+		}
+		last = e.TS
+		if e.Ph == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("no task slices in exported trace")
+	}
+	metrics, err := os.ReadFile(filepath.Join(dir, "twolf_postdoms.metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"machine.mispredicts", "machine.spawns_taken", "machine.task_lifetime_cycles"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics summary missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestFileToken(t *testing.T) {
+	for in, want := range map[string]string{
+		"postdoms":          "postdoms",
+		"postdoms - loopFT": "postdoms-loopFT",
+		"vpr.place":         "vpr.place",
+		"a b/c":             "a-b-c",
+	} {
+		if got := fileToken(in); got != want {
+			t.Errorf("fileToken(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

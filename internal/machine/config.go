@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/cachesim"
+	"repro/internal/telemetry"
 )
 
 // Config holds the pipeline parameters (Figure 8) plus the Task Spawn Unit
@@ -95,6 +96,14 @@ type Config struct {
 
 	// Caches; nil selects cachesim.DefaultHierarchy.
 	Caches *cachesim.Hierarchy
+
+	// Telemetry, when non-nil, receives this run's metrics (registered by
+	// name into its Registry, with machine.Stats kept as a compatibility
+	// view over the same storage) and, when its Tracer is non-nil, the
+	// cycle-timeline events of docs/OBSERVABILITY.md. One Collector
+	// observes one run: sharing it across concurrent runs is a data race.
+	// Nil disables telemetry entirely at ~zero cost on the hot loop.
+	Telemetry *telemetry.Collector
 
 	// Safety valve.
 	MaxCycles int64

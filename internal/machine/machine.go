@@ -8,6 +8,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,7 @@ type task struct {
 	lastLine        uint64 // last-fetched I-cache line + 1 (0 = none)
 	spawnFrom       uint64 // trigger PC of the spawn that created this task (0 = initial task)
 	blockedSpawn    bool   // a viable spawn was foreclosed by the tail-only rule
+	spawnCycle      int64  // cycle the task was created (telemetry)
 }
 
 func (t *task) fetchDone(traceLen int) bool {
@@ -136,6 +138,78 @@ type sim struct {
 
 	samples       []float64
 	lastSampleRet int
+
+	// tel is nil unless cfg.Telemetry was provided; every telemetry touch
+	// on the simulation loop hides behind that one nil check, so a run
+	// without a Collector pays nothing beyond its ordinary stats fields.
+	tel *telemetrySinks
+}
+
+// telemetrySinks holds the tracer and the histogram handles the sim
+// observes into. Scalar stats need no handles: bindTelemetry registers the
+// sim's own Stats fields as the registry's counter storage, keeping the hot
+// loop's plain field increments.
+type telemetrySinks struct {
+	tracer        *telemetry.Tracer
+	taskLifetime  *telemetry.Histogram // spawn-to-end cycles, retired or squashed
+	spawnToCommit *telemetry.Histogram // spawn-to-full-retire cycles, retired tasks only
+	squashDepth   *telemetry.Histogram // instructions rolled back per violation squash
+	taskLen       *telemetry.Histogram // segment length (instrs) of completed tasks
+	dqOccupancy   *telemetry.Histogram // divert-queue occupancy sampled at each divert
+}
+
+// bindTelemetry publishes the run's metrics into the collector's registry
+// and readies the event tracer. Counter names are the machine.* catalog of
+// docs/OBSERVABILITY.md; their storage is the sim's Stats fields, so
+// machine.Stats remains a coherent compatibility view of the registry.
+func (s *sim) bindTelemetry(col *telemetry.Collector) {
+	reg := col.Registry
+	reg.RegisterCounter("machine.mispredicts", &s.stats.Mispredicts)
+	reg.RegisterCounter("machine.spawns_taken", &s.stats.SpawnsTaken)
+	reg.RegisterCounter("machine.spawns_rejected", &s.stats.SpawnsRejected)
+	reg.RegisterCounter("machine.violations", &s.stats.Violations)
+	reg.RegisterCounter("machine.squashed_instrs", &s.stats.SquashedInstrs)
+	reg.RegisterCounter("machine.diverted", &s.stats.Diverted)
+	reg.RegisterCounter("machine.task_cycles", &s.stats.TaskCycles)
+	reg.RegisterCounter("machine.icache_stall_cycles", &s.stats.ICacheStallCycle)
+	reg.RegisterCounter("machine.foreclosures", &s.stats.Foreclosures)
+	reg.RegisterCounter("machine.hint_misses", &s.stats.HintMisses)
+	reg.RegisterCounter("machine.reclaims", &s.stats.Reclaims)
+	for k := core.Kind(0); k < core.NumKinds; k++ {
+		reg.RegisterCounter("machine.spawns."+k.String(), &s.stats.SpawnsByKind[k])
+	}
+	s.tel = &telemetrySinks{
+		tracer:        col.Tracer,
+		taskLifetime:  reg.Histogram("machine.task_lifetime_cycles", telemetry.ExpBounds(8, 12)),
+		spawnToCommit: reg.Histogram("machine.spawn_to_commit_cycles", telemetry.ExpBounds(8, 12)),
+		squashDepth:   reg.Histogram("machine.squash_depth_instrs", telemetry.ExpBounds(4, 10)),
+		taskLen:       reg.Histogram("machine.task_len_instrs", telemetry.ExpBounds(4, 10)),
+		dqOccupancy:   reg.Histogram("machine.divert_queue_occupancy", telemetry.ExpBounds(2, 8)),
+	}
+}
+
+// emit records a timeline event when tracing is on. Callers on warm paths
+// should guard with `s.tel != nil` themselves to skip argument setup.
+func (s *sim) emit(kind telemetry.EventKind, taskID int, a, b int64) {
+	if s.tel == nil || s.tel.tracer == nil {
+		return
+	}
+	s.tel.tracer.Emit(s.cycle, kind, int32(taskID), a, b)
+}
+
+// taskEnded observes end-of-life histograms for a task that is leaving the
+// machine at the current cycle.
+func (s *sim) taskEnded(t *task, retired bool) {
+	life := s.cycle - t.spawnCycle
+	s.tel.taskLifetime.Observe(life)
+	end := t.end
+	if end == -1 {
+		end = t.fetchIdx
+	}
+	s.tel.taskLen.Observe(int64(end - t.start))
+	if retired {
+		s.tel.spawnToCommit.Observe(life)
+	}
 }
 
 // scoreSpawn applies profitability feedback to a spawn point.
@@ -208,6 +282,10 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 		}
 		s.warmup(w)
 	}
+	if cfg.Telemetry != nil {
+		s.bindTelemetry(cfg.Telemetry)
+		s.emit(telemetry.EvTaskSpawn, 0, int64(s.tasks[0].start), -1)
+	}
 
 	for s.retireIdx < n {
 		if s.cycle >= cfg.MaxCycles {
@@ -263,6 +341,16 @@ func (s *sim) result() Result {
 	}
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Retired) / float64(r.Cycles)
+	}
+	if col := s.cfg.Telemetry; col != nil {
+		reg := col.Registry
+		reg.Gauge("machine.cycles").Set(r.Cycles)
+		reg.Gauge("machine.retired").Set(r.Retired)
+		reg.Gauge("machine.ipc_milli").Set(int64(r.IPC * 1000))
+		reg.Gauge("machine.peak_tasks").Set(int64(s.stats.PeakTasks))
+		reg.Gauge("machine.icache_misses").Set(int64(s.stats.ICacheMisses))
+		reg.Gauge("machine.dcache_misses").Set(int64(s.stats.DCacheMisses))
+		reg.Gauge("machine.l2_misses").Set(int64(s.stats.L2Misses))
 	}
 	return r
 }
@@ -347,6 +435,10 @@ func (s *sim) retire() {
 			// The task retired without being squashed: its spawn point
 			// earned its keep.
 			s.scoreSpawn(head.spawnFrom, 1)
+			if s.tel != nil {
+				s.taskEnded(head, true)
+				s.emit(telemetry.EvTaskRetire, head.id, int64(head.start), int64(head.end))
+			}
 			s.tasks = s.tasks[1:]
 		}
 	}
@@ -560,6 +652,10 @@ func (s *sim) dispatch() {
 				s.state[i] = stDiverted
 				s.dq = append(s.dq, dqEntry{idx: i, prods: prods, n: uint8(np)})
 				s.stats.Diverted++
+				if s.tel != nil {
+					s.tel.dqOccupancy.Observe(int64(len(s.dq)))
+					s.emit(telemetry.EvDivert, t.id, int64(i), int64(len(s.dq)))
+				}
 				t.dispIdx++
 				budget--
 				continue
@@ -596,6 +692,9 @@ func (s *sim) taskEligible(t *task) bool {
 		resume := int64(d) + int64(s.cfg.RedirectPenalty)
 		if s.cycle < resume {
 			return false
+		}
+		if s.tel != nil {
+			s.emit(telemetry.EvBranchResolve, t.id, int64(t.pendingRedirect), 0)
 		}
 		t.pendingRedirect = -1
 	}
@@ -667,6 +766,9 @@ func (s *sim) fetchTask(t *task, bw int) {
 			if lat > 0 {
 				t.stallUntil = s.cycle + int64(lat)
 				s.stats.ICacheStallCycle += int64(lat)
+				if s.tel != nil {
+					s.emit(telemetry.EvICacheStall, t.id, int64(e.PC), int64(lat))
+				}
 				return
 			}
 		}
@@ -689,6 +791,9 @@ func (s *sim) fetchTask(t *task, bw int) {
 			t.hist = s.gshare.PushHistory(t.hist, actual)
 			if pred != actual {
 				s.stats.Mispredicts++
+				if s.tel != nil {
+					s.emit(telemetry.EvMispredict, t.id, int64(i), int64(e.PC))
+				}
 				t.pendingRedirect = i
 				s.chargeForeclosure(t)
 				s.chargeColdStart(t, i)
@@ -706,6 +811,9 @@ func (s *sim) fetchTask(t *task, bw int) {
 			pred, ok := t.ras.Pop()
 			if !ok || pred != e.Next {
 				s.stats.Mispredicts++
+				if s.tel != nil {
+					s.emit(telemetry.EvMispredict, t.id, int64(i), int64(e.PC))
+				}
 				t.pendingRedirect = i
 				s.chargeForeclosure(t)
 			}
@@ -727,6 +835,9 @@ func (s *sim) predictIndirect(t *task, i int, e *trace.Entry) {
 	s.btb.Update(e.PC, e.Next)
 	if !ok || pred != e.Next {
 		s.stats.Mispredicts++
+		if s.tel != nil {
+			s.emit(telemetry.EvMispredict, t.id, int64(i), int64(e.PC))
+		}
 		t.pendingRedirect = i
 		s.chargeForeclosure(t)
 	}
@@ -798,6 +909,7 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 			ras:             t.ras.Clone(),
 			stallUntil:      s.cycle + int64(s.cfg.SpawnLatency),
 			spawnFrom:       sp.From,
+			spawnCycle:      s.cycle,
 		}
 		s.nextTaskID++
 		t.end = k
@@ -814,6 +926,9 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 		s.tasks[pos] = nt
 		s.stats.SpawnsTaken++
 		s.stats.SpawnsByKind[sp.Kind]++
+		if s.tel != nil {
+			s.emit(telemetry.EvTaskSpawn, nt.id, int64(k), int64(sp.Kind))
+		}
 		return
 	}
 }
@@ -930,9 +1045,18 @@ func (s *sim) squash(v violation) {
 	}
 
 	vt := s.tasks[j]
+	squashedBefore := s.stats.SquashedInstrs
 	s.resetRange(v.load, vt.fetchIdx)
 	for _, t := range s.tasks[j+1:] {
 		s.resetRange(t.start, t.fetchIdx)
+	}
+	if s.tel != nil {
+		s.emit(telemetry.EvViolation, vt.id, int64(v.load), int64(v.store))
+		for _, t := range s.tasks[j+1:] {
+			s.taskEnded(t, false)
+			s.emit(telemetry.EvTaskSquash, t.id, int64(t.start), int64(t.fetchIdx))
+		}
+		s.tel.squashDepth.Observe(s.stats.SquashedInstrs - squashedBefore)
 	}
 	s.tasks = s.tasks[:j+1]
 
@@ -1029,6 +1153,10 @@ func (s *sim) reclaimYoungest() {
 		return
 	}
 	tail := s.tasks[len(s.tasks)-1]
+	if s.tel != nil {
+		s.taskEnded(tail, false)
+		s.emit(telemetry.EvReclaim, tail.id, int64(tail.start), int64(tail.fetchIdx))
+	}
 	s.resetRange(tail.start, tail.fetchIdx)
 	s.purgeFrom(tail.start)
 	s.tasks = s.tasks[:len(s.tasks)-1]

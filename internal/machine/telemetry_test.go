@@ -1,0 +1,175 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// prepAny is prep for both tests and benchmarks.
+func prepAny(tb testing.TB, src string) (*trace.Trace, *core.Analysis) {
+	tb.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := emu.Run(p, emu.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a, err := core.Analyze(p, tr.IndirectTargets())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr, a
+}
+
+// runWithCollector simulates hardHammockLoop under postdoms with the given
+// collector attached (nil = telemetry off).
+func runWithCollector(tb testing.TB, col *telemetry.Collector) Result {
+	tb.Helper()
+	tr, a := prepAny(tb, hardHammockLoop)
+	cfg := PolyFlowConfig()
+	cfg.Telemetry = col
+	res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+func TestTelemetryRegistryMatchesStats(t *testing.T) {
+	col := telemetry.NewCollector(telemetry.Config{TraceEvents: 1 << 14})
+	res := runWithCollector(t, col)
+
+	// Stats is a compatibility view over the registry's counter storage:
+	// every named counter must agree with the struct field.
+	checks := map[string]int64{
+		"machine.mispredicts":         res.Mispredicts,
+		"machine.spawns_taken":        res.SpawnsTaken,
+		"machine.spawns_rejected":     res.SpawnsRejected,
+		"machine.violations":          res.Violations,
+		"machine.squashed_instrs":     res.SquashedInstrs,
+		"machine.diverted":            res.Diverted,
+		"machine.task_cycles":         res.TaskCycles,
+		"machine.icache_stall_cycles": res.ICacheStallCycle,
+		"machine.foreclosures":        res.Foreclosures,
+		"machine.hint_misses":         res.HintMisses,
+		"machine.reclaims":            res.Reclaims,
+	}
+	for k := core.Kind(0); k < core.NumKinds; k++ {
+		checks["machine.spawns."+k.String()] = res.SpawnsByKind[k]
+	}
+	for name, want := range checks {
+		got, ok := col.Registry.CounterValue(name)
+		if !ok {
+			t.Errorf("counter %q not registered", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("counter %q = %d, Stats says %d", name, got, want)
+		}
+	}
+	gauges := map[string]int64{
+		"machine.cycles":     res.Cycles,
+		"machine.retired":    res.Retired,
+		"machine.peak_tasks": int64(res.PeakTasks),
+	}
+	for name, want := range gauges {
+		if got, ok := col.Registry.GaugeValue(name); !ok || got != want {
+			t.Errorf("gauge %q = %d,%v, want %d", name, got, ok, want)
+		}
+	}
+	if res.SpawnsTaken == 0 {
+		t.Fatalf("workload spawned no tasks; telemetry coverage is vacuous")
+	}
+}
+
+func TestTelemetryEventsEmitted(t *testing.T) {
+	col := telemetry.NewCollector(telemetry.Config{TraceEvents: 1 << 16})
+	res := runWithCollector(t, col)
+
+	byKind := map[telemetry.EventKind]int64{}
+	var lastCycle int64 = -1
+	for _, e := range col.Tracer.Events() {
+		byKind[e.Kind]++
+		if e.Cycle < lastCycle {
+			t.Fatalf("events out of order: cycle %d after %d", e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+	}
+	if col.Tracer.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events; enlarge it for this test", col.Tracer.Dropped())
+	}
+	if got := byKind[telemetry.EvTaskSpawn]; got != res.SpawnsTaken+1 { // +1: initial task
+		t.Errorf("spawn events = %d, want %d", got, res.SpawnsTaken+1)
+	}
+	if got := byKind[telemetry.EvMispredict]; got != res.Mispredicts {
+		t.Errorf("mispredict events = %d, want %d", got, res.Mispredicts)
+	}
+	if got := byKind[telemetry.EvViolation]; got != res.Violations {
+		t.Errorf("violation events = %d, want %d", got, res.Violations)
+	}
+	if got := byKind[telemetry.EvDivert]; got != res.Diverted {
+		t.Errorf("divert events = %d, want %d", got, res.Diverted)
+	}
+	// Spawned tasks end at most once each (retire, squash or reclaim); the
+	// final head task survives to the end of the trace.
+	ends := byKind[telemetry.EvTaskRetire] + byKind[telemetry.EvTaskSquash] + byKind[telemetry.EvReclaim]
+	if ends == 0 || ends > res.SpawnsTaken {
+		t.Errorf("task end events = %d, want in (0, %d]", ends, res.SpawnsTaken)
+	}
+	// Histograms observed one lifetime per ended task.
+	life := col.Registry.Histogram("machine.task_lifetime_cycles", nil)
+	if int64(life.Count()) != ends {
+		t.Errorf("task_lifetime count = %d, want %d", life.Count(), ends)
+	}
+}
+
+// TestTelemetryOffIsIdentical: attaching telemetry must not change timing,
+// and a nil collector must leave results bit-identical to the seed model.
+func TestTelemetryOffIsIdentical(t *testing.T) {
+	col := telemetry.NewCollector(telemetry.Config{TraceEvents: 1 << 14})
+	withTel := runWithCollector(t, col)
+	without := runWithCollector(t, nil)
+	if withTel.Cycles != without.Cycles || withTel.Stats != without.Stats {
+		t.Fatalf("telemetry changed simulation results:\nwith:    %+v\nwithout: %+v",
+			withTel.Stats, without.Stats)
+	}
+}
+
+// BenchmarkTelemetryOverhead is the overhead guard: "off" is the production
+// hot loop (nil collector — the only residue is dead nil checks on rare
+// paths), "metrics" adds the registry bindings, "full" adds the event ring.
+// CI runs the trio in short mode; when touching the hot loop, compare
+// off's ns/op against the seed (<3% drift budget, see
+// docs/OBSERVABILITY.md).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	tr, a := prepAny(b, hardHammockLoop)
+	cases := []struct {
+		name string
+		col  func() *telemetry.Collector
+	}{
+		{"off", func() *telemetry.Collector { return nil }},
+		{"metrics", func() *telemetry.Collector { return telemetry.NewCollector(telemetry.Config{}) }},
+		{"full", func() *telemetry.Collector {
+			return telemetry.NewCollector(telemetry.Config{TraceEvents: telemetry.DefaultTraceEvents})
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				cfg := PolyFlowConfig()
+				cfg.Telemetry = c.col()
+				if _, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

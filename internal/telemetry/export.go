@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one record of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing load). ts/dur are in microseconds; the
+// export maps one simulated cycle to one microsecond.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// openTask tracks an in-flight task slice during export.
+type openTask struct {
+	slot  int
+	spawn int64
+	start int64 // first trace index
+}
+
+// WriteChromeTrace converts buffered events to Chrome trace-event JSON on
+// w. Task lifetimes become duration slices on per-slot tracks ("task slot
+// N", assigned greedily so concurrent tasks land on distinct tracks, as
+// hardware task contexts would); mispredicts, resolutions and violations
+// become instant events on their task's track; divert-queue occupancy
+// becomes a counter track. process names the trace (e.g. the machine
+// configuration). Events must be chronological, as Tracer.Events returns
+// them.
+func WriteChromeTrace(w io.Writer, process string, events []Event) error {
+	const pid = 0
+	var out []chromeEvent
+	open := map[int32]*openTask{}
+	var freeSlots []int
+	nextSlot := 0
+	maxSlot := -1
+	var lastCycle int64
+
+	takeSlot := func() int {
+		if n := len(freeSlots); n > 0 {
+			// Lowest-numbered free slot keeps tracks dense and stable.
+			sort.Ints(freeSlots)
+			s := freeSlots[0]
+			freeSlots = freeSlots[1:]
+			return s
+		}
+		s := nextSlot
+		nextSlot++
+		if s > maxSlot {
+			maxSlot = s
+		}
+		return s
+	}
+	slotOf := func(task int32) int {
+		if o, ok := open[task]; ok {
+			return o.slot
+		}
+		return 0
+	}
+	closeTask := func(task int32, cycle int64, reason string, args map[string]any) {
+		o, ok := open[task]
+		if !ok {
+			return // spawn fell off the ring; nothing to pair with
+		}
+		dur := cycle - o.spawn
+		if dur < 1 {
+			dur = 1
+		}
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["start_index"] = o.start
+		args["end"] = reason
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("task %d", task),
+			Ph:   "X", TS: o.spawn, Dur: dur, PID: pid, TID: o.slot,
+			Args: args,
+		})
+		freeSlots = append(freeSlots, o.slot)
+		delete(open, task)
+	}
+
+	for _, e := range events {
+		if e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+		switch e.Kind {
+		case EvTaskSpawn:
+			open[e.Task] = &openTask{slot: takeSlot(), spawn: e.Cycle, start: e.A}
+		case EvTaskRetire:
+			closeTask(e.Task, e.Cycle, "retired", map[string]any{"end_index": e.B})
+		case EvTaskSquash:
+			closeTask(e.Task, e.Cycle, "squashed", map[string]any{"fetched_to": e.B})
+			out = append(out, chromeEvent{
+				Name: "squash", Ph: "i", TS: e.Cycle, PID: pid,
+				TID: 0, S: "p",
+				Args: map[string]any{"task": e.Task},
+			})
+		case EvReclaim:
+			closeTask(e.Task, e.Cycle, "reclaimed", map[string]any{"fetched_to": e.B})
+		case EvMispredict:
+			out = append(out, chromeEvent{
+				Name: "mispredict", Ph: "i", TS: e.Cycle, PID: pid,
+				TID: slotOf(e.Task), S: "t",
+				Args: map[string]any{"index": e.A, "pc": fmt.Sprintf("0x%x", uint64(e.B))},
+			})
+		case EvBranchResolve:
+			out = append(out, chromeEvent{
+				Name: "resolve", Ph: "i", TS: e.Cycle, PID: pid,
+				TID: slotOf(e.Task), S: "t",
+				Args: map[string]any{"index": e.A},
+			})
+		case EvICacheStall:
+			out = append(out, chromeEvent{
+				Name: "icache stall", Ph: "X", TS: e.Cycle, Dur: max64(e.B, 1),
+				PID: pid, TID: slotOf(e.Task),
+				Args: map[string]any{"pc": fmt.Sprintf("0x%x", uint64(e.A))},
+			})
+		case EvDivert:
+			out = append(out, chromeEvent{
+				Name: "divert_queue", Ph: "C", TS: e.Cycle, PID: pid,
+				Args: map[string]any{"occupancy": e.B},
+			})
+		case EvViolation:
+			out = append(out, chromeEvent{
+				Name: "violation", Ph: "i", TS: e.Cycle, PID: pid,
+				TID: slotOf(e.Task), S: "p",
+				Args: map[string]any{"load_index": e.A, "store_index": e.B},
+			})
+		}
+	}
+	// Close tasks still alive at the end of the buffer (the head task always
+	// is) so their slices render.
+	var stillOpen []int32
+	for task := range open {
+		stillOpen = append(stillOpen, task)
+	}
+	sort.Slice(stillOpen, func(i, j int) bool { return stillOpen[i] < stillOpen[j] })
+	for _, task := range stillOpen {
+		closeTask(task, lastCycle+1, "end-of-trace", nil)
+	}
+
+	// The format wants ts-sorted events; slices carry their spawn-time ts
+	// but were appended at close time.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+
+	meta := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": process},
+	}}
+	for s := 0; s <= maxSlot; s++ {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: s,
+			Args: map[string]any{"name": fmt.Sprintf("task slot %d", s)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, out...),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// WriteChromeTrace exports the collector's buffered events; see the
+// package-level WriteChromeTrace.
+func (c *Collector) WriteChromeTrace(w io.Writer, process string) error {
+	var events []Event
+	if c.Tracer != nil {
+		events = c.Tracer.Events()
+	}
+	return WriteChromeTrace(w, process, events)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodedTrace mirrors the exported JSON for validation.
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func decodeTrace(t *testing.T, data []byte) decodedTrace {
+	t.Helper()
+	var dt decodedTrace
+	if err := json.Unmarshal(data, &dt); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	return dt
+}
+
+// checkMonotonicTS asserts non-decreasing ts over all non-metadata events.
+func checkMonotonicTS(t *testing.T, dt decodedTrace) {
+	t.Helper()
+	last := int64(-1)
+	for i, e := range dt.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			t.Fatalf("event %d (%s %s): ts %d < previous %d", i, e.Ph, e.Name, e.TS, last)
+		}
+		last = e.TS
+	}
+}
+
+func TestWriteChromeTraceSlots(t *testing.T) {
+	// Two overlapping tasks must land on distinct slots; after both end, a
+	// third task reuses the lowest freed slot.
+	events := []Event{
+		{Cycle: 0, Kind: EvTaskSpawn, Task: 0, A: 0, B: -1},
+		{Cycle: 5, Kind: EvTaskSpawn, Task: 1, A: 100, B: 1},
+		{Cycle: 7, Kind: EvMispredict, Task: 1, A: 120, B: 0x400048},
+		{Cycle: 9, Kind: EvBranchResolve, Task: 1, A: 120},
+		{Cycle: 10, Kind: EvDivert, Task: 1, A: 130, B: 12},
+		{Cycle: 20, Kind: EvViolation, Task: 1, A: 140, B: 90},
+		{Cycle: 20, Kind: EvTaskSquash, Task: 1, A: 100, B: 150},
+		{Cycle: 30, Kind: EvTaskSpawn, Task: 2, A: 200, B: 3},
+		{Cycle: 40, Kind: EvTaskRetire, Task: 2, A: 200, B: 250},
+		{Cycle: 41, Kind: EvICacheStall, Task: 0, A: 0x400000, B: 10},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "unit", events); err != nil {
+		t.Fatal(err)
+	}
+	dt := decodeTrace(t, buf.Bytes())
+	checkMonotonicTS(t, dt)
+
+	slices := map[string]struct {
+		tid     int
+		ts, dur int64
+	}{}
+	var haveProcess, haveCounter, haveInstant bool
+	for _, e := range dt.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Name != "icache stall" {
+				slices[e.Name] = struct {
+					tid     int
+					ts, dur int64
+				}{e.TID, e.TS, e.Dur}
+			}
+		case "M":
+			if e.Name == "process_name" {
+				haveProcess = true
+			}
+		case "C":
+			haveCounter = true
+		case "i":
+			haveInstant = true
+		}
+	}
+	if !haveProcess || !haveCounter || !haveInstant {
+		t.Fatalf("missing event classes: process=%v counter=%v instant=%v", haveProcess, haveCounter, haveInstant)
+	}
+	t0, ok0 := slices["task 0"]
+	t1, ok1 := slices["task 1"]
+	t2, ok2 := slices["task 2"]
+	if !ok0 || !ok1 || !ok2 {
+		t.Fatalf("task slices missing: %v", slices)
+	}
+	if t0.tid == t1.tid {
+		t.Fatalf("overlapping tasks share slot %d", t0.tid)
+	}
+	if t2.tid != t1.tid {
+		t.Fatalf("task 2 should reuse freed slot %d, got %d", t1.tid, t2.tid)
+	}
+	// Task 0 never ends: closed at the last cycle + 1.
+	if t0.ts != 0 || t0.dur != 42 {
+		t.Fatalf("task 0 slice = ts %d dur %d, want 0..42", t0.ts, t0.dur)
+	}
+	if t1.ts != 5 || t1.dur != 15 {
+		t.Fatalf("task 1 slice = ts %d dur %d, want 5..20", t1.ts, t1.dur)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	dt := decodeTrace(t, buf.Bytes())
+	if len(dt.TraceEvents) != 1 || dt.TraceEvents[0].Ph != "M" {
+		t.Fatalf("empty trace should hold only process metadata: %+v", dt.TraceEvents)
+	}
+}
+
+// TestWriteChromeTraceUnpairedEnd: a retire whose spawn fell off the ring
+// must not crash or fabricate a slice.
+func TestWriteChromeTraceUnpairedEnd(t *testing.T) {
+	events := []Event{
+		{Cycle: 50, Kind: EvTaskRetire, Task: 7, A: 0, B: 10},
+		{Cycle: 60, Kind: EvTaskSpawn, Task: 8, A: 20, B: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, "partial", events); err != nil {
+		t.Fatal(err)
+	}
+	dt := decodeTrace(t, buf.Bytes())
+	checkMonotonicTS(t, dt)
+	for _, e := range dt.TraceEvents {
+		if e.Name == "task 7" {
+			t.Fatalf("fabricated slice for unpaired retire")
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a named set of counters, gauges and histograms for one run.
+// Lookup and registration are mutex-protected so setup may happen from any
+// goroutine; the metric *handles* are single-writer (one simulation run)
+// and read after the run completes.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing int64. Its storage is either owned
+// (Counter method) or external (RegisterCounter) — external storage lets a
+// hot loop keep incrementing its own struct field while the registry
+// exports it by name.
+type Counter struct {
+	name string
+	p    *int64
+	own  int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { *c.p++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { *c.p += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return *c.p }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Counter returns the named counter with registry-owned storage, creating
+// it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	c.p = &c.own
+	r.counters[name] = c
+	return c
+}
+
+// RegisterCounter binds the named counter to external storage. Re-binding
+// an existing name replaces its storage — this is how a fresh run re-uses
+// a registry.
+func (r *Registry) RegisterCounter(name string, p *int64) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		c.p = p
+		return c
+	}
+	c := &Counter{name: name, p: p}
+	r.counters[name] = c
+	return c
+}
+
+// CounterValue reports the named counter's value, if registered.
+func (r *Registry) CounterValue(name string) (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		return 0, false
+	}
+	return *c.p, true
+}
+
+// Gauge is a last-value int64 metric.
+type Gauge struct {
+	name string
+	v    int64
+}
+
+// Set records v.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// SetMax records v if it exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeValue reports the named gauge's value, if registered.
+func (r *Registry) GaugeValue(name string) (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		return 0, false
+	}
+	return g.v, true
+}
+
+// Histogram is a fixed-bucket histogram over int64 samples. Bucket i counts
+// samples v with v <= bounds[i] (and bounds[i-1] < v); the final overflow
+// bucket counts samples above the last bound.
+type Histogram struct {
+	name   string
+	bounds []int64  // ascending upper bounds
+	counts []uint64 // len(bounds)+1, last is overflow
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(k int) bool { return v <= h.bounds[k] })
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample (0 before any sample).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sample (0 before any sample).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the sample mean (0 before any sample).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Buckets returns the bucket upper bounds and the per-bucket counts (one
+// more count than bounds: the overflow bucket).
+func (h *Histogram) Buckets() ([]int64, []uint64) { return h.bounds, h.counts }
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (bounds must be ascending; later calls with the
+// same name ignore bounds and return the existing histogram).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{name: name, bounds: b, counts: make([]uint64, len(b)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// ExpBounds returns n ascending bucket bounds starting at first and
+// doubling: first, 2*first, 4*first, ... — the standard latency scale.
+func ExpBounds(first int64, n int) []int64 {
+	if first < 1 {
+		first = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = first
+		first *= 2
+	}
+	return out
+}
+
+// Snapshot returns all counter and gauge values by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = *c.p
+	}
+	for name, g := range r.gauges {
+		out[name] = g.v
+	}
+	return out
+}
+
+// WriteSummary writes every metric in name order as aligned plain text.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var err error
+		switch {
+		case r.counters[name] != nil:
+			_, err = fmt.Fprintf(w, "counter   %-36s %d\n", name, *r.counters[name].p)
+		case r.gauges[name] != nil:
+			_, err = fmt.Fprintf(w, "gauge     %-36s %d\n", name, r.gauges[name].v)
+		default:
+			h := r.hists[name]
+			_, err = fmt.Fprintf(w, "histogram %-36s count=%d mean=%.1f min=%d max=%d\n",
+				name, h.count, h.Mean(), h.min, h.max)
+			if err == nil && h.count > 0 {
+				for i, b := range h.bounds {
+					if h.counts[i] == 0 {
+						continue
+					}
+					label := fmt.Sprintf("<= %d", b)
+					if i > 0 {
+						label = fmt.Sprintf("(%d..%d]", h.bounds[i-1], b)
+					}
+					if _, err = fmt.Fprintf(w, "          %36s %-16s %d\n", "", label, h.counts[i]); err != nil {
+						return err
+					}
+				}
+				if n := len(h.bounds); h.counts[n] > 0 {
+					label := "all"
+					if n > 0 {
+						label = fmt.Sprintf("> %d", h.bounds[n-1])
+					}
+					if _, err = fmt.Fprintf(w, "          %36s %-16s %d\n", "", label, h.counts[n]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterOwnedAndRegistered(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("owned counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("a"); c2 != c {
+		t.Fatalf("same name returned a different counter")
+	}
+
+	var storage int64 = 7
+	ext := r.RegisterCounter("b", &storage)
+	storage += 3 // the hot loop increments its own field
+	if got := ext.Value(); got != 10 {
+		t.Fatalf("external counter = %d, want 10", got)
+	}
+	if v, ok := r.CounterValue("b"); !ok || v != 10 {
+		t.Fatalf("CounterValue(b) = %d,%v", v, ok)
+	}
+
+	// Re-binding replaces storage (a fresh run reusing the registry).
+	var storage2 int64 = 100
+	if c3 := r.RegisterCounter("b", &storage2); c3 != ext || c3.Value() != 100 {
+		t.Fatalf("rebind: got %d, want 100 on the same handle", c3.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(4)
+	g.SetMax(2)
+	if g.Value() != 4 {
+		t.Fatalf("SetMax lowered the gauge: %d", g.Value())
+	}
+	g.SetMax(9)
+	if v, ok := r.GaugeValue("g"); !ok || v != 9 {
+		t.Fatalf("GaugeValue = %d,%v, want 9", v, ok)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{1, 2, 4})
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bucket shapes: %d bounds, %d counts", len(bounds), len(counts))
+	}
+	// <=1: {0,1}; (1..2]: {2}; (2..4]: {3,4}; >4: {5,100}
+	want := []uint64{2, 1, 2, 2}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 7 || h.Sum() != 115 || h.Min() != 0 || h.Max() != 100 {
+		t.Fatalf("count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean < 16.4 || mean > 16.5 {
+		t.Fatalf("mean = %f", mean)
+	}
+	if h2 := r.Histogram("h", []int64{99}); h2 != h {
+		t.Fatalf("same name returned a different histogram")
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	got := ExpBounds(4, 5)
+	want := []int64{4, 8, 16, 32, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBounds = %v, want %v", got, want)
+		}
+	}
+	if b := ExpBounds(0, 2); b[0] != 1 || b[1] != 2 {
+		t.Fatalf("ExpBounds clamps first to 1: %v", b)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("machine.mispredicts").Add(3)
+	r.Gauge("machine.cycles").Set(1000)
+	h := r.Histogram("machine.task_lifetime_cycles", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	var b strings.Builder
+	if err := r.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"counter", "machine.mispredicts", "3",
+		"gauge", "machine.cycles", "1000",
+		"histogram", "machine.task_lifetime_cycles", "count=3",
+		"<= 10", "(10..100]", "> 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Name-sorted: cycles gauge before mispredicts counter.
+	if strings.Index(out, "machine.cycles") > strings.Index(out, "machine.mispredicts") {
+		t.Fatalf("summary not name-sorted:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(3)
+	snap := r.Snapshot()
+	if snap["c"] != 2 || snap["g"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}

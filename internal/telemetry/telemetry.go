@@ -1,0 +1,67 @@
+// Package telemetry is the observability substrate of the simulator: a
+// low-overhead metrics registry (counters, gauges, fixed-bucket
+// histograms), a ring-buffered cycle-timeline event tracer, and exporters
+// (Chrome trace-event JSON loadable in Perfetto, plain-text summaries).
+//
+// The design goal is that publishing metrics costs nothing beyond what the
+// simulator already pays: hot-path counters register *external* int64
+// storage (the machine's own Stats fields) into the registry, so the hot
+// loop keeps its plain field increments and the registry is merely a named
+// view over them. The tracer is reached through a nil-checked pointer, so a
+// run without a Collector emits no events and touches no telemetry state.
+//
+// One Collector observes exactly one run: counters are (re)bound to the
+// run's storage when the run starts, and the tracer's ring holds that run's
+// tail of events. Sharing a Collector across concurrent runs is a data
+// race; give each run its own.
+//
+// See docs/OBSERVABILITY.md for the metric catalog and trace-event schema.
+package telemetry
+
+import "io"
+
+// DefaultTraceEvents is the default ring-buffer capacity of a Collector's
+// tracer: enough for the interesting tail of a multi-million-cycle run at
+// bounded (~3 MB) memory.
+const DefaultTraceEvents = 1 << 17
+
+// Config sizes a Collector.
+type Config struct {
+	// TraceEvents is the tracer ring-buffer capacity in events; 0 creates
+	// a metrics-only Collector (no tracer), negative selects
+	// DefaultTraceEvents.
+	TraceEvents int
+}
+
+// Collector bundles the per-run metrics registry and (optionally) the
+// cycle-timeline tracer.
+type Collector struct {
+	Registry *Registry
+	Tracer   *Tracer // nil when tracing is disabled
+}
+
+// NewCollector builds a Collector per cfg.
+func NewCollector(cfg Config) *Collector {
+	c := &Collector{Registry: NewRegistry()}
+	n := cfg.TraceEvents
+	if n < 0 {
+		n = DefaultTraceEvents
+	}
+	if n > 0 {
+		c.Tracer = NewTracer(n)
+	}
+	return c
+}
+
+// WriteSummary writes the plain-text per-run summary: every registered
+// metric, then tracer occupancy when tracing was on.
+func (c *Collector) WriteSummary(w io.Writer) error {
+	if err := c.Registry.WriteSummary(w); err != nil {
+		return err
+	}
+	if c.Tracer != nil {
+		_, err := io.WriteString(w, c.Tracer.summaryLine())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import "fmt"
+
+// EventKind classifies one cycle-timeline event.
+type EventKind uint8
+
+// The machine-level event vocabulary. A and B are kind-specific payloads
+// (documented per kind; trace indices, PCs, latencies, occupancies).
+const (
+	EvNone          EventKind = iota
+	EvTaskSpawn               // task born; A = first trace index, B = spawn kind (core.Kind), task 0: B = -1
+	EvTaskRetire              // task's whole segment retired; A = start index, B = end index
+	EvTaskSquash              // task killed by a violation squash; A = start index, B = fetch index reached
+	EvMispredict              // branch mispredicted in task; A = trace index, B = PC
+	EvBranchResolve           // task's pending redirect resolved; A = trace index of the branch
+	EvICacheStall             // I-cache miss stalled the task's fetch; A = PC, B = stall cycles
+	EvDivert                  // instruction entered the divert queue; A = trace index, B = queue occupancy after
+	EvViolation               // memory-dependence violation squash begins; A = load index, B = store index
+	EvReclaim                 // youngest task reclaimed for ROB space; A = start index, B = fetch index reached
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"none", "task_spawn", "task_retire", "task_squash", "mispredict",
+	"branch_resolve", "icache_stall", "divert", "violation", "reclaim",
+}
+
+// String returns the snake_case kind name used in exported traces.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one timeline record: something happened to a task at a cycle.
+type Event struct {
+	Cycle int64
+	A, B  int64
+	Task  int32
+	Kind  EventKind
+}
+
+// Tracer is a bounded ring buffer of Events. When full, the oldest events
+// are overwritten, so the buffer always holds the most recent tail of the
+// run — the part a diagnosis usually needs. Emit is a few stores; there is
+// no locking (one tracer per run, one goroutine per run).
+type Tracer struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer holding at most capacity events (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records one event, overwriting the oldest if the ring is full.
+func (t *Tracer) Emit(cycle int64, kind EventKind, task int32, a, b int64) {
+	e := Event{Cycle: cycle, Kind: kind, Task: task, A: a, B: b}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+	}
+	t.next++
+	if t.next == cap(t.buf) {
+		t.next = 0
+	}
+	t.total++
+}
+
+// Events returns the buffered events in chronological order (a copy).
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) { // wrapped: oldest is at next
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+		return out
+	}
+	return append(out, t.buf...)
+}
+
+// Total returns how many events were emitted over the run.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many emitted events were overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t.total > uint64(cap(t.buf)) {
+		return t.total - uint64(cap(t.buf))
+	}
+	return 0
+}
+
+// Cap returns the ring capacity in events.
+func (t *Tracer) Cap() int { return cap(t.buf) }
+
+func (t *Tracer) summaryLine() string {
+	return fmt.Sprintf("tracer    %-36s emitted=%d buffered=%d dropped=%d\n",
+		"events", t.total, len(t.buf), t.Dropped())
+}

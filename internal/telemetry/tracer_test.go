@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerNoWrap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Emit(int64(i), EvMispredict, 0, int64(i), 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 5 || tr.Total() != 5 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(ev), tr.Total(), tr.Dropped())
+	}
+	for i, e := range ev {
+		if e.Cycle != int64(i) {
+			t.Fatalf("event %d at cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(int64(i), EvDivert, int32(i), int64(i), 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("buffered %d, want 4", len(ev))
+	}
+	// The ring keeps the most recent tail, chronologically ordered.
+	for i, e := range ev {
+		if want := int64(6 + i); e.Cycle != want || e.A != want {
+			t.Fatalf("event %d = cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 || tr.Cap() != 4 {
+		t.Fatalf("total=%d dropped=%d cap=%d", tr.Total(), tr.Dropped(), tr.Cap())
+	}
+}
+
+func TestTracerExactFill(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 3; i++ {
+		tr.Emit(int64(i), EvTaskSpawn, 0, 0, 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 3 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", len(ev), tr.Dropped())
+	}
+	for i, e := range ev {
+		if e.Cycle != int64(i) {
+			t.Fatalf("event %d at cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+func TestTracerMinCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Emit(1, EvViolation, 0, 0, 0)
+	tr.Emit(2, EvViolation, 0, 0, 0)
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Cycle != 2 || tr.Dropped() != 1 {
+		t.Fatalf("events=%v dropped=%d", ev, tr.Dropped())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvTaskSpawn.String() != "task_spawn" || EvICacheStall.String() != "icache_stall" {
+		t.Fatalf("kind names wrong: %s %s", EvTaskSpawn, EvICacheStall)
+	}
+	if !strings.Contains(EventKind(200).String(), "200") {
+		t.Fatalf("out-of-range kind: %s", EventKind(200))
+	}
+}
+
+func TestCollectorConfig(t *testing.T) {
+	if c := NewCollector(Config{}); c.Tracer != nil || c.Registry == nil {
+		t.Fatalf("zero config should be metrics-only")
+	}
+	if c := NewCollector(Config{TraceEvents: -1}); c.Tracer == nil || c.Tracer.Cap() != DefaultTraceEvents {
+		t.Fatalf("negative TraceEvents should select the default capacity")
+	}
+	c := NewCollector(Config{TraceEvents: 16})
+	c.Registry.Counter("x").Inc()
+	c.Tracer.Emit(3, EvMispredict, 1, 0, 0)
+	var b strings.Builder
+	if err := c.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "emitted=1") {
+		t.Fatalf("collector summary wrong:\n%s", out)
+	}
+}

@@ -117,7 +117,12 @@ func (b *Bench) fillWarmup(cfg *machine.Config) {
 
 // RunSuperscalar simulates the 8-wide superscalar baseline.
 func (b *Bench) RunSuperscalar() (machine.Result, error) {
-	cfg := machine.SuperscalarConfig()
+	return b.RunSuperscalarConfig(machine.SuperscalarConfig())
+}
+
+// RunSuperscalarConfig simulates the superscalar baseline under a custom
+// configuration — e.g. with a telemetry Collector attached.
+func (b *Bench) RunSuperscalarConfig(cfg machine.Config) (machine.Result, error) {
 	b.fillWarmup(&cfg)
 	return machine.Run(b.Trace, b.Deps, nil, cfg)
 }
