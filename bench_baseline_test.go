@@ -1,0 +1,93 @@
+package speculate_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The perf trajectory of the timing model is recorded in
+// BENCH_simulator.json. Refresh it after simulator performance work with:
+//
+//	go test -run TestWriteBenchBaseline -bench-baseline -bench-label "short description" .
+//
+// The file is append-only history: each entry captures ns/op, B/op and
+// allocs/op for BenchmarkSimulatorThroughput and BenchmarkFigure9 at one
+// commit, so regressions and wins stay visible over time (see
+// docs/PERFORMANCE.md).
+var (
+	benchBaseline = flag.Bool("bench-baseline", false, "measure simulator benchmarks and append an entry to BENCH_simulator.json")
+	benchLabel    = flag.String("bench-label", "", "label for the BENCH_simulator.json entry")
+)
+
+type benchEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type benchRecord struct {
+	Label      string                `json:"label"`
+	Date       string                `json:"date"`
+	Go         string                `json:"go"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchHistory struct {
+	History []benchRecord `json:"history"`
+}
+
+func TestWriteBenchBaseline(t *testing.T) {
+	if !*benchBaseline {
+		t.Skip("run with -bench-baseline to measure and record simulator benchmarks")
+	}
+	// Prepare every workload up front so the recorded numbers measure the
+	// simulator, not the one-time assemble/emulate/analyze of cold caches.
+	for _, name := range speculate.WorkloadNames() {
+		if _, err := speculate.Load(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(f func(*testing.B)) benchEntry {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		return benchEntry{
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	rec := benchRecord{
+		Label: *benchLabel,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Go:    runtime.Version(),
+		Benchmarks: map[string]benchEntry{
+			"SimulatorThroughput": measure(BenchmarkSimulatorThroughput),
+			"Figure9":             measure(BenchmarkFigure9),
+		},
+	}
+
+	const path = "BENCH_simulator.json"
+	var hist benchHistory
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			t.Fatalf("corrupt %s: %v", path, err)
+		}
+	}
+	hist.History = append(hist.History, rec)
+	data, err := json.MarshalIndent(&hist, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded %+v", rec)
+}

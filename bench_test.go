@@ -231,7 +231,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkAnalysisThroughput measures the static analysis pipeline.
+// BenchmarkAnalysisThroughput measures the static analysis pipeline plus
+// the trace dependence scan (ComputeDeps), the two pre-simulation passes
+// every workload pays once.
 func BenchmarkAnalysisThroughput(b *testing.B) {
 	bench, err := speculate.Load("gcc")
 	if err != nil {
@@ -242,6 +244,7 @@ func BenchmarkAnalysisThroughput(b *testing.B) {
 		if _, err := core.Analyze(bench.Prog, bench.Trace.IndirectTargets()); err != nil {
 			b.Fatal(err)
 		}
+		bench.Trace.ComputeDeps()
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/core"
@@ -33,29 +35,47 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics summary after the run")
 	list := flag.Bool("list", false, "list workloads and policies")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("workloads:", speculate.WorkloadNames())
-		fmt.Print("policies: superscalar rec_pred")
-		for _, p := range allPolicies() {
-			fmt.Printf(" %q", p.Name)
-		}
-		fmt.Println()
+		fmt.Println("policies:", speculate.PolicyNames())
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polyflow:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "polyflow:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	if err := run(*benchName, *policyName, *tasks, *verbose, *traceFile, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "polyflow:", err)
 		os.Exit(1)
 	}
-}
 
-func allPolicies() []core.Policy {
-	ps := core.IndividualPolicies()
-	ps = append(ps, core.CombinationPolicies()...)
-	ps = append(ps, core.ExclusionPolicies()...)
-	return ps
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polyflow:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "polyflow:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func run(benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool) error {
@@ -103,23 +123,7 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 	cfg := machine.PolyFlowConfig()
 	cfg.MaxTasks = tasks
 	cfg.Telemetry = col
-	var res machine.Result
-	if policyName == "rec_pred" {
-		res, err = b.RunRecPred(cfg)
-	} else {
-		var pol core.Policy
-		found := false
-		for _, p := range allPolicies() {
-			if p.Name == policyName {
-				pol, found = p, true
-				break
-			}
-		}
-		if !found {
-			return fmt.Errorf("unknown policy %q", policyName)
-		}
-		res, err = b.RunPolicy(pol, cfg)
-	}
+	res, err := b.RunNamed(policyName, cfg)
 	if err != nil {
 		return err
 	}

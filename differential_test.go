@@ -1,0 +1,45 @@
+package speculate_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/machine"
+)
+
+// TestSchedulerDifferential runs every workload under every policy family
+// with both the event-driven scheduler and the original polled reference
+// model and requires bit-identical results: same cycles, same Stats, same
+// IPC samples. This is the contract that lets the event path replace the
+// polled rescan without re-validating the figures.
+func TestSchedulerDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	policies := []string{"superscalar", "postdoms", "rec_pred"}
+	for _, name := range speculate.WorkloadNames() {
+		b, err := speculate.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range policies {
+			pol := pol
+			t.Run(name+"/"+pol, func(t *testing.T) {
+				cfg := machine.PolyFlowConfig()
+				event, err := b.RunNamed(pol, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.PolledScheduler = true
+				polled, err := b.RunNamed(pol, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(event, polled) {
+					t.Errorf("event and polled schedulers diverge:\nevent:  %+v\npolled: %+v", event, polled)
+				}
+			})
+		}
+	}
+}

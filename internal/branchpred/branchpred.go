@@ -138,3 +138,21 @@ func (r *RAS) Clone() *RAS {
 	copy(c.stack, r.stack)
 	return c
 }
+
+// CloneInto copies the stack into dst, reusing dst's storage when the
+// depths match (the timing model's task pool recycles RAS instances).
+func (r *RAS) CloneInto(dst *RAS) {
+	if len(dst.stack) != len(r.stack) {
+		dst.stack = make([]uint64, len(r.stack))
+	}
+	copy(dst.stack, r.stack)
+	dst.top, dst.n = r.top, r.n
+}
+
+// Depth returns the stack's configured depth.
+func (r *RAS) Depth() int { return len(r.stack) }
+
+// Reset empties the stack without reallocating.
+func (r *RAS) Reset() {
+	r.top, r.n = 0, 0
+}

@@ -93,6 +93,19 @@ func (c *Cache) Access(addr uint64) int {
 	return lat
 }
 
+// Reset invalidates every line and clears the statistics, returning the
+// cache to its just-built state so pooled hierarchies can be reused across
+// runs.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.tick = 0
+	c.Accesses, c.Misses = 0, 0
+}
+
 // Probe reports whether addr currently hits, without updating state.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.lineBits
@@ -111,6 +124,13 @@ type Hierarchy struct {
 	L1I *Cache
 	L1D *Cache
 	L2  *Cache
+}
+
+// Reset restores every level to its just-built state.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
 }
 
 // DefaultHierarchy returns the Figure 8 configuration: L1I 8 KB 2-way 128 B

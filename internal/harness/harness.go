@@ -150,34 +150,46 @@ func BenchesNamed(names []string) ([]*speculate.Bench, error) {
 	return out, nil
 }
 
-// runGrid simulates every (bench, column) pair in parallel; colNames label
-// the columns in errors. run must be goroutine-safe across distinct pairs.
+// runGrid simulates every (bench, column) pair on a fixed pool of NumCPU
+// workers; colNames label the columns in errors. run must be goroutine-safe
+// across distinct pairs. A worker runs cells to completion one after another,
+// so machine.Run's pooled arenas settle at one per worker instead of
+// churning through however many goroutines the grid is wide.
 func runGrid(benches []*speculate.Bench, colNames []string,
 	run func(b *speculate.Bench, col int) (machine.Result, error)) ([][]machine.Result, error) {
 
 	cols := len(colNames)
+	cells := len(benches) * cols
 	res := make([][]machine.Result, len(benches))
-	errs := make([]error, len(benches)*cols)
+	errs := make([]error, cells)
 	for i := range res {
 		res[i] = make([]machine.Result, cols)
 	}
+	work := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, b := range benches {
-		for c := 0; c < cols; c++ {
-			wg.Add(1)
-			go func(i, c int, b *speculate.Bench) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+	workers := runtime.NumCPU()
+	if workers > cells {
+		workers = cells
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				i, c := k/cols, k%cols
+				b := benches[i]
 				r, err := run(b, c)
 				if err != nil {
 					err = fmt.Errorf("bench %q policy %q: %w", b.Name, colNames[c], err)
 				}
-				res[i][c], errs[i*cols+c] = r, err
-			}(i, c, b)
-		}
+				res[i][c], errs[k] = r, err
+			}
+		}()
 	}
+	for k := 0; k < cells; k++ {
+		work <- k
+	}
+	close(work)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"sync"
+
+	"repro/internal/cachesim"
+)
+
+// arena holds every piece of run state whose size scales with the trace (or
+// that is otherwise worth recycling) so that a grid of simulations reuses
+// one allocation set per worker instead of reallocating per machine.Run.
+// Arenas are pooled through a sync.Pool: the harness runs NumCPU cells
+// concurrently, so the pool settles at about one arena per worker.
+//
+// Only the arrays that are read before being written this run are
+// re-initialized on reuse (state, dispC, doneC, plus the heads of the
+// intrusive wake/watch lists, which are instead cleared instruction by
+// instruction at first fetch); everything else is provably written before
+// it is read, so stale values from the previous run are unobservable.
+type arena struct {
+	n int // trace length the per-instruction arrays are sized for
+
+	state   []uint8
+	fetchC  []int32
+	dispC   []int32
+	doneC   []int32
+	issueC  []int32
+	memWait []int32
+	memSpec []int32
+
+	// Event-driven scheduler state (sched.go).
+	wakeHead []int32
+	wakeNext [][3]int32
+	pendCnt  []uint8
+	readyAt  []int32
+	timeQ    []int64
+	readyQ   []int32
+
+	// Speculative-load watch lists (flat successor of watch map[int][]int32).
+	watchHead []int32
+	watchNext []int32
+	watchTmp  []int32
+
+	profit profitTable
+
+	// Bounded scratch.
+	sched     []int32
+	dq        []dqEntry
+	viols     []violation
+	chosen    []*task
+	tasks     []*task
+	freeTasks []*task
+
+	// caches is the pooled default hierarchy, used only when the Config
+	// does not supply its own.
+	caches *cachesim.Hierarchy
+}
+
+var arenaPool sync.Pool
+
+// getArena returns an arena sized for an n-entry trace with all
+// read-before-write state initialized.
+func getArena(n int) *arena {
+	a, _ := arenaPool.Get().(*arena)
+	if a == nil {
+		a = &arena{}
+	}
+	a.ensure(n)
+	return a
+}
+
+func putArena(a *arena) { arenaPool.Put(a) }
+
+// ensure sizes the per-instruction arrays for an n-entry trace and resets
+// the state that must start clean.
+func (a *arena) ensure(n int) {
+	if cap(a.state) < n {
+		a.state = make([]uint8, n)
+		a.fetchC = make([]int32, n)
+		a.dispC = make([]int32, n)
+		a.doneC = make([]int32, n)
+		a.issueC = make([]int32, n)
+		a.memWait = make([]int32, n)
+		a.memSpec = make([]int32, n)
+		a.wakeHead = make([]int32, n)
+		a.wakeNext = make([][3]int32, n)
+		a.pendCnt = make([]uint8, n)
+		a.readyAt = make([]int32, n)
+		a.watchHead = make([]int32, n)
+		a.watchNext = make([]int32, n)
+	}
+	a.n = n
+	a.state = a.state[:n]
+	a.fetchC = a.fetchC[:n]
+	a.dispC = a.dispC[:n]
+	a.doneC = a.doneC[:n]
+	a.issueC = a.issueC[:n]
+	a.memWait = a.memWait[:n]
+	a.memSpec = a.memSpec[:n]
+	a.wakeHead = a.wakeHead[:n]
+	a.wakeNext = a.wakeNext[:n]
+	a.pendCnt = a.pendCnt[:n]
+	a.readyAt = a.readyAt[:n]
+	a.watchHead = a.watchHead[:n]
+	a.watchNext = a.watchNext[:n]
+
+	clear(a.state)
+	fillNever(a.dispC)
+	fillNever(a.doneC)
+	// Wake and watch lists may be registered on a producer before it is even
+	// fetched (the divert queue releases consumers once producers *exist*,
+	// not once they dispatch), so the heads must start empty for the whole
+	// trace up front. fetchC/issueC/memWait/memSpec need no init: they are
+	// gated by state and always written at fetch/dispatch before any read.
+	fillNever(a.wakeHead)
+	fillNever(a.watchHead)
+
+	a.timeQ = a.timeQ[:0]
+	a.readyQ = a.readyQ[:0]
+	a.watchTmp = a.watchTmp[:0]
+	a.sched = a.sched[:0]
+	a.dq = a.dq[:0]
+	a.viols = a.viols[:0]
+	a.chosen = a.chosen[:0]
+	a.tasks = a.tasks[:0]
+	a.profit.reset()
+}
+
+// fillNever sets every element to never using doubling copies, which run at
+// memmove speed instead of a scalar store loop.
+func fillNever(s []int32) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = never
+	for i := 1; i < len(s); i *= 2 {
+		copy(s[i:], s[:i])
+	}
+}
+
+// defaultCaches returns the arena's pooled default hierarchy, reset for a
+// new run.
+func (a *arena) defaultCaches() *cachesim.Hierarchy {
+	if a.caches == nil {
+		a.caches = cachesim.DefaultHierarchy()
+		return a.caches
+	}
+	a.caches.Reset()
+	return a.caches
+}
+
+// bind points the sim at the arena's storage.
+func (s *sim) bind(a *arena) {
+	s.ar = a
+	s.state = a.state
+	s.fetchC = a.fetchC
+	s.dispC = a.dispC
+	s.doneC = a.doneC
+	s.issueC = a.issueC
+	s.memWait = a.memWait
+	s.memSpec = a.memSpec
+	s.wakeHead = a.wakeHead
+	s.wakeNext = a.wakeNext
+	s.pendCnt = a.pendCnt
+	s.readyAt = a.readyAt
+	s.timeQ = a.timeQ
+	s.readyQ = a.readyQ
+	s.watchHead = a.watchHead
+	s.watchNext = a.watchNext
+	s.watchTmp = a.watchTmp
+	s.profit = &a.profit
+	s.sched = a.sched
+	s.dq = a.dq
+	s.viols = a.viols
+	s.chosen = a.chosen
+	s.tasks = a.tasks
+	s.freeTasks = a.freeTasks
+}
+
+// release returns the (possibly grown) storage to the arena and the arena
+// to the pool. The sim must not be used afterwards.
+func (s *sim) release() {
+	a := s.ar
+	if a == nil {
+		return
+	}
+	a.timeQ = s.timeQ
+	a.readyQ = s.readyQ
+	a.watchTmp = s.watchTmp
+	a.sched = s.sched
+	a.dq = s.dq
+	a.viols = s.viols
+	a.chosen = s.chosen
+	// Recycle the remaining live tasks along with the already-freed ones.
+	for _, t := range s.tasks {
+		s.freeTasks = append(s.freeTasks, t)
+	}
+	a.tasks = s.tasks[:0]
+	a.freeTasks = s.freeTasks
+	s.ar = nil
+	putArena(a)
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// Nil disables telemetry entirely at ~zero cost on the hot loop.
 	Telemetry *telemetry.Collector
 
+	// PolledScheduler selects the original O(scheduler) per-cycle issue
+	// rescan instead of the event-driven producer-wakeup scheduler. The two
+	// are cycle-for-cycle identical (enforced by the differential tests);
+	// the polled path exists as the reference model and will be removed
+	// once the event path has soaked.
+	PolledScheduler bool
+
 	// Safety valve.
 	MaxCycles int64
 }

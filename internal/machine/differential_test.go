@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// diffConfigs are machine configurations chosen to stress every structural
+// difference between the polled and event-driven schedulers: violation
+// squashes (wake/watch unlinking), divert pressure (late producer
+// registration), ROB reclaim (mid-flight task teardown), a finite hint
+// cache, and a scheduler small enough to make issue-order priority matter.
+func diffConfigs() map[string]Config {
+	tiny := PolyFlowConfig()
+	tiny.SchedSize = 12
+	tiny.SchedReserve = 4
+	tiny.NumFUs = 3
+
+	reclaim := PolyFlowConfig()
+	reclaim.ReclaimROB = true
+	reclaim.ROBSize = 96
+	reclaim.ROBReserve = 16
+
+	hint := PolyFlowConfig()
+	hint.HintCacheLog2 = 2
+
+	divert := PolyFlowConfig()
+	divert.DivertQSize = 8
+
+	return map[string]Config{
+		"polyflow":   PolyFlowConfig(),
+		"tiny-sched": tiny,
+		"reclaim":    reclaim,
+		"hint-cache": hint,
+		"divert-8":   divert,
+	}
+}
+
+// TestEventPolledDifferential runs violation-heavy and divert-heavy
+// workloads under every stress configuration with both scheduler
+// implementations and requires bit-identical Results.
+func TestEventPolledDifferential(t *testing.T) {
+	programs := map[string]string{
+		"hammock":  hardHammockLoop,
+		"memViol":  interTaskMemProgram,
+		"straight": straightLine(600),
+	}
+	for pname, src := range programs {
+		_, tr, a := prep(t, src)
+		for cname, cfg := range diffConfigs() {
+			t.Run(pname+"/"+cname, func(t *testing.T) {
+				cfg.WarmupInstrs = 0
+				event, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.PolledScheduler = true
+				polled, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(event, polled) {
+					t.Errorf("schedulers diverge:\nevent:  %+v\npolled: %+v", event, polled)
+				}
+			})
+		}
+	}
+}
+
+// TestRunSteadyStateAllocs: with the arena pool warm, machine.Run must not
+// allocate per-trace-entry state — only a fixed handful of small setup
+// allocations (predictors, store sets, the sim itself) may remain.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	cfg := SuperscalarConfig()
+	run := func() {
+		if _, err := Run(tr, nil, nil, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena pool
+	allocs := testing.AllocsPerRun(3, run)
+	// The trace is ~46k entries; per-entry allocation would show up as
+	// thousands. The observed steady state is tens of allocations.
+	if allocs > 200 {
+		t.Fatalf("machine.Run allocates %v objects per run in steady state", allocs)
+	}
+}

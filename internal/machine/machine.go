@@ -2,7 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/branchpred"
 	"repro/internal/cachesim"
@@ -112,6 +111,8 @@ type sim struct {
 	btb    *branchpred.BTB
 	caches *cachesim.Hierarchy
 	ss     *storeSets
+	ar     *arena
+	polled bool // Config.PolledScheduler: use the reference issue rescan
 
 	state   []uint8
 	fetchC  []int32
@@ -121,19 +122,34 @@ type sim struct {
 	memWait []int32 // producer store the load must wait for (synchronized), or -1
 	memSpec []int32 // producer store the load speculates past (unsynchronized), or -1
 
+	// Event-driven scheduler state (sched.go): producer wake lists, the
+	// wakeup time heap, and the trace-index-ordered ready queue.
+	wakeHead []int32
+	wakeNext [][3]int32
+	pendCnt  []uint8
+	readyAt  []int32
+	timeQ    []int64
+	readyQ   []int32
+
+	// Per-store watch lists of speculative loads (sched.go).
+	watchHead []int32
+	watchNext []int32
+	watchTmp  []int32
+
 	tasks      []*task
+	freeTasks  []*task
+	chosen     []*task // fetch-stage scratch
 	nextTaskID int
 	warmStart  int
 	robUsed    int
 	schedUsed  int
-	sched      []int32 // trace indices in the scheduler, ascending
+	sched      []int32 // polled mode only: trace indices in the scheduler, ascending
 	dq         []dqEntry
 	retireIdx  int
 	cycle      int64
-	watch      map[int][]int32
 	viols      []violation
-	profit     map[uint64]int // spawn-point profitability scores
-	hintTags   []uint64       // finite hint cache tags (nil = unmodeled)
+	profit     *profitTable // spawn-point profitability scores
+	hintTags   []uint64     // finite hint cache tags (nil = unmodeled)
 	stats      Stats
 
 	samples       []float64
@@ -217,19 +233,19 @@ func (s *sim) scoreSpawn(from uint64, delta int) {
 	if from == 0 {
 		return
 	}
-	v := s.profit[from] + delta
+	v := s.profit.get(from) + delta
 	if v > 4 {
 		v = 4
 	}
 	if v < -4 {
 		v = -4
 	}
-	s.profit[from] = v
+	s.profit.set(from, v)
 }
 
 // spawnAllowed consults the profitability table.
 func (s *sim) spawnAllowed(from uint64) bool {
-	return s.profit[from] >= -s.cfg.ProfitPatience
+	return s.profit.get(from) >= -s.cfg.ProfitPatience
 }
 
 // Run simulates the trace on the configured machine with the given spawn
@@ -239,10 +255,6 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 	if deps == nil {
 		deps = tr.ComputeDeps()
 	}
-	caches := cfg.Caches
-	if caches == nil {
-		caches = cachesim.DefaultHierarchy()
-	}
 	n := tr.Len()
 	s := &sim{
 		cfg:    cfg,
@@ -250,31 +262,25 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 		t:      tr,
 		deps:   deps,
 		src:    src,
+		polled: cfg.PolledScheduler,
 		gshare: branchpred.NewGshare(cfg.GshareLog2, cfg.GshareHistBits),
 		btb:    branchpred.NewBTB(cfg.BTBLog2),
-		caches: caches,
+		caches: cfg.Caches,
 		ss:     newStoreSets(cfg.StoreSetWays),
-
-		state:   make([]uint8, n),
-		fetchC:  newCycleArr(n),
-		dispC:   newCycleArr(n),
-		doneC:   newCycleArr(n),
-		issueC:  newCycleArr(n),
-		memWait: newCycleArr(n),
-		memSpec: newCycleArr(n),
-		watch:   map[int][]int32{},
-		profit:  map[uint64]int{},
+	}
+	ar := getArena(n)
+	s.bind(ar)
+	defer s.release()
+	if s.caches == nil {
+		s.caches = ar.defaultCaches()
 	}
 	if cfg.HintCacheLog2 > 0 {
 		s.hintTags = make([]uint64, 1<<cfg.HintCacheLog2)
 	}
-	s.tasks = []*task{{
-		id:              0,
-		start:           0,
-		end:             -1,
-		pendingRedirect: -1,
-		ras:             branchpred.NewRAS(cfg.RASDepth),
-	}}
+	t0 := s.newTask(cfg.RASDepth)
+	t0.end = -1
+	t0.pendingRedirect = -1
+	s.tasks = append(s.tasks, t0)
 	s.nextTaskID = 1
 	if w := cfg.WarmupInstrs; w > 0 {
 		if w > n {
@@ -294,7 +300,11 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 		}
 		s.processViolations()
 		s.retire()
-		s.issue()
+		if s.polled {
+			s.issuePolled()
+		} else {
+			s.issueEvent()
+		}
 		s.moveDivertQueue()
 		s.dispatch()
 		s.fetch()
@@ -309,23 +319,35 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 		// Slow profitability recovery: disabled spawn points get periodic
 		// retries rather than being written off forever.
 		if s.cycle&8191 == 0 {
-			for pc, v := range s.profit {
-				if v < 0 {
-					s.profit[pc] = v + 1
-				}
-			}
+			s.profit.decay()
 		}
 		s.cycle++
 	}
 	return s.result(), nil
 }
 
-func newCycleArr(n int) []int32 {
-	a := make([]int32, n)
-	for i := range a {
-		a[i] = never
+// newTask returns a zeroed task, recycling a previously freed one (and its
+// return-address stack) when possible.
+func (s *sim) newTask(rasDepth int) *task {
+	if n := len(s.freeTasks); n > 0 {
+		t := s.freeTasks[n-1]
+		s.freeTasks = s.freeTasks[:n-1]
+		ras := t.ras
+		*t = task{}
+		if ras != nil && ras.Depth() == rasDepth {
+			ras.Reset()
+			t.ras = ras
+		} else {
+			t.ras = branchpred.NewRAS(rasDepth)
+		}
+		return t
 	}
-	return a
+	return &task{ras: branchpred.NewRAS(rasDepth)}
+}
+
+// freeTask recycles a task that left the machine.
+func (s *sim) freeTask(t *task) {
+	s.freeTasks = append(s.freeTasks, t)
 }
 
 func (s *sim) result() Result {
@@ -404,12 +426,35 @@ func (s *sim) warmup(w int) {
 	s.caches.L2.Accesses, s.caches.L2.Misses = 0, 0
 }
 
+// taskIdxOf returns the position of the active task containing trace index
+// i, or -1. Tasks are ordered by segment start, so a binary search over the
+// starts finds the only candidate (used on the violation path).
+func (s *sim) taskIdxOf(i int) int {
+	ts := s.tasks
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ts[mid].start <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first task starting beyond i; its predecessor is the only
+	// task whose segment can contain i.
+	if lo == 0 {
+		return -1
+	}
+	if t := ts[lo-1]; t.end == -1 || i < t.end {
+		return lo - 1
+	}
+	return -1
+}
+
 // taskOf returns the active task containing trace index i, or nil.
 func (s *sim) taskOf(i int) *task {
-	for _, t := range s.tasks {
-		if i >= t.start && (t.end == -1 || i < t.end) {
-			return t
-		}
+	if j := s.taskIdxOf(i); j >= 0 {
+		return s.tasks[j]
 	}
 	return nil
 }
@@ -440,30 +485,12 @@ func (s *sim) retire() {
 				s.emit(telemetry.EvTaskRetire, head.id, int64(head.start), int64(head.end))
 			}
 			s.tasks = s.tasks[1:]
+			s.freeTask(head)
 		}
 	}
 }
 
 // ---------------------------------------------------------------- issue
-
-func (s *sim) ready(i int) bool {
-	if int64(s.dispC[i]) >= s.cycle {
-		return false
-	}
-	e := &s.tr[i]
-	for k := 0; k < int(e.NSrc); k++ {
-		p := s.deps.RegProd[i][k]
-		if p >= 0 && (s.doneC[p] == never || int64(s.doneC[p]) > s.cycle) {
-			return false
-		}
-	}
-	if p := s.memWait[i]; p >= 0 {
-		if s.doneC[p] == never || int64(s.doneC[p]) > s.cycle {
-			return false
-		}
-	}
-	return true
-}
 
 func (s *sim) latency(e *trace.Entry) int32 {
 	switch {
@@ -480,52 +507,34 @@ func (s *sim) latency(e *trace.Entry) int32 {
 	return 1
 }
 
-func (s *sim) issue() {
-	issued := 0
-	kept := s.sched[:0]
-	for _, idx := range s.sched {
-		i := int(idx)
-		if s.state[i] != stInSched { // squashed since
-			continue
-		}
-		if issued >= s.cfg.NumFUs || !s.ready(i) {
-			kept = append(kept, idx)
-			continue
-		}
-		issued++
-		s.schedUsed--
-		s.state[i] = stIssued
-		s.issueC[i] = int32(s.cycle)
-		e := &s.tr[i]
-		done := int32(s.cycle) + s.latency(e)
-		s.doneC[i] = done
+// issueOne moves instruction i from the scheduler to execution: its
+// completion cycle becomes known, speculative loads past an unfinished
+// store register on its watch list, and (event mode) waiters on i wake.
+func (s *sim) issueOne(i int) {
+	s.schedUsed--
+	s.state[i] = stIssued
+	s.issueC[i] = int32(s.cycle)
+	e := &s.tr[i]
+	done := int32(s.cycle) + s.latency(e)
+	s.doneC[i] = done
 
-		if e.IsStore() {
-			// Any speculative loads that already issued before this
-			// store's data became available read stale data.
-			if loads, ok := s.watch[i]; ok {
-				for _, l := range loads {
-					li := int(l)
-					if s.state[li] >= stIssued && s.state[li] != stRetired &&
-						s.issueC[li] != never && s.issueC[li] < done {
-						s.viols = append(s.viols, violation{load: li, store: i, detect: int64(done)})
-					}
-				}
-				delete(s.watch, i)
-			}
-		}
-		if e.IsLoad() {
-			if p := int(s.memSpec[i]); p >= 0 {
-				switch {
-				case s.doneC[p] == never:
-					s.watch[p] = append(s.watch[p], int32(i))
-				case s.doneC[p] > s.issueC[i]:
-					s.viols = append(s.viols, violation{load: i, store: p, detect: int64(s.doneC[p])})
-				}
+	if e.IsStore() {
+		// Any speculative loads that already issued before this store's
+		// data became available read stale data.
+		s.fireWatch(i, done)
+	}
+	if e.IsLoad() {
+		if p := int(s.memSpec[i]); p >= 0 {
+			switch {
+			case s.doneC[p] == never:
+				s.watchAdd(p, i)
+			case s.doneC[p] > s.issueC[i]:
+				s.viols = append(s.viols, violation{load: i, store: p, detect: int64(s.doneC[p])})
 			}
 		}
 	}
-	s.sched = kept
+	// In polled mode no wake edges exist, so this is a no-op there.
+	s.fireWake(i, done)
 }
 
 // ---------------------------------------------------------------- divert
@@ -582,11 +591,11 @@ func (s *sim) enterScheduler(i int) {
 	s.state[i] = stInSched
 	s.robUsed++
 	s.schedUsed++
-	// Insert keeping ascending order (oldest-first issue priority).
-	pos := sort.Search(len(s.sched), func(k int) bool { return s.sched[k] > int32(i) })
-	s.sched = append(s.sched, 0)
-	copy(s.sched[pos+1:], s.sched[pos:])
-	s.sched[pos] = int32(i)
+	if s.polled {
+		s.enterSchedulerPolled(i)
+	} else {
+		s.enterSchedulerEvent(i)
+	}
 }
 
 // -------------------------------------------------------------- dispatch
@@ -596,11 +605,14 @@ func (s *sim) enterScheduler(i int) {
 // task or the store-set predictor flags it, speculative (memSpec)
 // otherwise.
 func (s *sim) classifyMemDep(i int, t *task) {
+	// Reset for every instruction: the arena does not bulk-initialize these
+	// arrays, so this rename-time write is what makes their values defined
+	// (and a re-dispatch after a squash re-classifies).
+	s.memWait[i], s.memSpec[i] = never, never
 	e := &s.tr[i]
 	if !e.IsLoad() {
 		return
 	}
-	s.memWait[i], s.memSpec[i] = never, never // re-dispatch after a squash re-classifies
 	p := int(s.deps.MemProd[i])
 	if p < 0 {
 		return
@@ -711,7 +723,7 @@ func (s *sim) fetch() {
 	// Biased ICount: the head (least speculative) task always gets a slot
 	// when it can fetch; remaining slots go to the eligible tasks with the
 	// fewest in-flight instructions.
-	var chosen []*task
+	chosen := s.chosen[:0]
 	if len(s.tasks) > 0 && s.taskEligible(s.tasks[0]) {
 		chosen = append(chosen, s.tasks[0])
 	}
@@ -737,6 +749,7 @@ func (s *sim) fetch() {
 		}
 		chosen = append(chosen, best)
 	}
+	s.chosen = chosen
 	if len(chosen) == 0 {
 		return
 	}
@@ -898,19 +911,18 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 		} else {
 			s.scoreSpawn(t.spawnFrom, 1)
 		}
-		nt := &task{
-			id:              s.nextTaskID,
-			start:           k,
-			end:             t.end,
-			fetchIdx:        k,
-			dispIdx:         k,
-			pendingRedirect: -1,
-			hist:            t.hist,
-			ras:             t.ras.Clone(),
-			stallUntil:      s.cycle + int64(s.cfg.SpawnLatency),
-			spawnFrom:       sp.From,
-			spawnCycle:      s.cycle,
-		}
+		nt := s.newTask(s.cfg.RASDepth)
+		nt.id = s.nextTaskID
+		nt.start = k
+		nt.end = t.end
+		nt.fetchIdx = k
+		nt.dispIdx = k
+		nt.pendingRedirect = -1
+		nt.hist = t.hist
+		nt.stallUntil = s.cycle + int64(s.cfg.SpawnLatency)
+		nt.spawnFrom = sp.From
+		nt.spawnCycle = s.cycle
+		t.ras.CloneInto(nt.ras)
 		s.nextTaskID++
 		t.end = k
 		// Insert after t (keeps tasks ordered by segment start).
@@ -1029,22 +1041,14 @@ func (s *sim) processViolations() {
 func (s *sim) squash(v violation) {
 	s.stats.Violations++
 	s.ss.train(s.tr[v.load].PC, s.tr[v.store].PC)
-	if vt := s.taskOf(v.load); vt != nil {
-		s.scoreSpawn(vt.spawnFrom, -2)
-	}
 
-	j := -1
-	for ti, t := range s.tasks {
-		if v.load >= t.start && (t.end == -1 || v.load < t.end) {
-			j = ti
-			break
-		}
-	}
+	j := s.taskIdxOf(v.load)
 	if j < 0 {
 		return // the containing task already vanished; nothing to do
 	}
 
 	vt := s.tasks[j]
+	s.scoreSpawn(vt.spawnFrom, -2)
 	squashedBefore := s.stats.SquashedInstrs
 	s.resetRange(v.load, vt.fetchIdx)
 	for _, t := range s.tasks[j+1:] {
@@ -1057,6 +1061,9 @@ func (s *sim) squash(v violation) {
 			s.emit(telemetry.EvTaskSquash, t.id, int64(t.start), int64(t.fetchIdx))
 		}
 		s.tel.squashDepth.Observe(s.stats.SquashedInstrs - squashedBefore)
+	}
+	for _, t := range s.tasks[j+1:] {
+		s.freeTask(t)
 	}
 	s.tasks = s.tasks[:j+1]
 
@@ -1091,27 +1098,36 @@ func (s *sim) resetRange(lo, hi int) {
 		case stInSched:
 			s.schedUsed--
 			s.robUsed--
+			// Eagerly unlink i's wake-list registrations: the link storage
+			// is reused if i refetches, so a stale edge would cross-link the
+			// producer's list.
+			if !s.polled {
+				s.unlinkWakeEdges(i)
+			}
 		case stIssued:
 			s.robUsed--
+			if p := s.memSpec[i]; p >= 0 && s.doneC[p] == never {
+				s.unlinkWatch(int(p), int32(i))
+			}
 		}
 		s.state[i] = stNone
 		s.fetchC[i], s.dispC[i], s.issueC[i], s.doneC[i] = never, never, never, never
 		s.memWait[i], s.memSpec[i] = never, never
+		s.wakeHead[i], s.watchHead[i] = -1, -1
 		s.stats.SquashedInstrs++
 	}
 }
 
-// purgeFrom eagerly drops scheduler, divert-queue, watch-list and pending
+// purgeFrom eagerly drops scheduler-queue, divert-queue and pending
 // violation entries at trace index >= lo: a refetched instruction re-enters
 // those structures, and a stale duplicate entry would otherwise alias it.
+// (Wake and watch lists were already unlinked entry by entry in resetRange.)
 func (s *sim) purgeFrom(lo int) {
-	keptS := s.sched[:0]
-	for _, idx := range s.sched {
-		if int(idx) < lo {
-			keptS = append(keptS, idx)
-		}
+	if s.polled {
+		s.purgeSchedPolled(lo)
+	} else {
+		s.purgeQueues(lo)
 	}
-	s.sched = keptS
 	keptD := s.dq[:0]
 	for _, en := range s.dq {
 		if en.idx < lo {
@@ -1119,23 +1135,6 @@ func (s *sim) purgeFrom(lo int) {
 		}
 	}
 	s.dq = keptD
-	for st, loads := range s.watch {
-		if st >= lo {
-			delete(s.watch, st)
-			continue
-		}
-		keep := loads[:0]
-		for _, l := range loads {
-			if int(l) < lo {
-				keep = append(keep, l)
-			}
-		}
-		if len(keep) == 0 {
-			delete(s.watch, st)
-		} else {
-			s.watch[st] = keep
-		}
-	}
 	keptV := s.viols[:0]
 	for _, w := range s.viols {
 		if w.load < lo && w.store < lo {
@@ -1163,5 +1162,6 @@ func (s *sim) reclaimYoungest() {
 	newTail := s.tasks[len(s.tasks)-1]
 	newTail.end = tail.end
 	s.scoreSpawn(tail.spawnFrom, -1)
+	s.freeTask(tail)
 	s.stats.Reclaims++
 }

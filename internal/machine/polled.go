@@ -1,0 +1,70 @@
+// The original polled scheduler, kept verbatim behind
+// Config.PolledScheduler as the reference model for the event-driven
+// scheduler in sched.go. The differential tests run every workload and
+// policy through both paths and require identical Result and Stats; once
+// the event path has soaked across a few PRs this file can be deleted.
+package machine
+
+import "sort"
+
+// issuePolled rescans every scheduler entry each cycle, issuing up to
+// NumFUs ready instructions in trace order.
+func (s *sim) issuePolled() {
+	issued := 0
+	kept := s.sched[:0]
+	for _, idx := range s.sched {
+		i := int(idx)
+		if s.state[i] != stInSched { // squashed since
+			continue
+		}
+		if issued >= s.cfg.NumFUs || !s.ready(i) {
+			kept = append(kept, idx)
+			continue
+		}
+		issued++
+		s.issueOne(i)
+	}
+	s.sched = kept
+}
+
+// ready reports whether instruction i can issue this cycle: dispatched on
+// an earlier cycle, with every register producer and any synchronized
+// store completed.
+func (s *sim) ready(i int) bool {
+	if int64(s.dispC[i]) >= s.cycle {
+		return false
+	}
+	e := &s.tr[i]
+	for k := 0; k < int(e.NSrc); k++ {
+		p := s.deps.RegProd[i][k]
+		if p >= 0 && (s.doneC[p] == never || int64(s.doneC[p]) > s.cycle) {
+			return false
+		}
+	}
+	if p := s.memWait[i]; p >= 0 {
+		if s.doneC[p] == never || int64(s.doneC[p]) > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// enterSchedulerPolled inserts i into the sorted scheduler slice (oldest-
+// first issue priority) with a copy-insert.
+func (s *sim) enterSchedulerPolled(i int) {
+	pos := sort.Search(len(s.sched), func(k int) bool { return s.sched[k] > int32(i) })
+	s.sched = append(s.sched, 0)
+	copy(s.sched[pos+1:], s.sched[pos:])
+	s.sched[pos] = int32(i)
+}
+
+// purgeSchedPolled drops scheduler entries at trace index >= lo.
+func (s *sim) purgeSchedPolled(lo int) {
+	kept := s.sched[:0]
+	for _, idx := range s.sched {
+		if int(idx) < lo {
+			kept = append(kept, idx)
+		}
+	}
+	s.sched = kept
+}

@@ -177,7 +177,8 @@ type Deps struct {
 
 // ComputeDeps performs the last-writer scan. Memory dependences are tracked
 // at byte granularity, so partially overlapping accesses are handled
-// exactly.
+// exactly; the byte table is keyed by 8-byte-aligned words (one probe per
+// word spanned instead of one per byte) in an open-addressed flat map.
 func (t *Trace) ComputeDeps() *Deps {
 	n := len(t.Entries)
 	d := &Deps{
@@ -188,7 +189,7 @@ func (t *Trace) ComputeDeps() *Deps {
 	for r := range lastReg {
 		lastReg[r] = -1
 	}
-	lastStore := make(map[uint64]int32, 4096)
+	ws := newWordStores(4096)
 	for i := range t.Entries {
 		e := &t.Entries[i]
 		for k := 0; k < int(e.NSrc); k++ {
@@ -196,22 +197,131 @@ func (t *Trace) ComputeDeps() *Deps {
 		}
 		d.MemProd[i] = -1
 		if e.IsLoad() {
-			prod := int32(-1)
-			for b := uint64(0); b < uint64(e.MemW); b++ {
-				if s, ok := lastStore[e.Addr+b]; ok && s > prod {
-					prod = s
-				}
-			}
-			d.MemProd[i] = prod
+			d.MemProd[i] = ws.lastOverlapping(e.Addr, uint64(e.MemW))
 		}
 		if e.IsStore() {
-			for b := uint64(0); b < uint64(e.MemW); b++ {
-				lastStore[e.Addr+b] = int32(i)
-			}
+			ws.record(e.Addr, uint64(e.MemW), int32(i))
 		}
 		if e.HasDst() {
 			lastReg[e.Dst] = int32(i)
 		}
 	}
 	return d
+}
+
+// wordStores is the last-store-per-byte table behind ComputeDeps: an
+// open-addressed (linear probing) hash map from 8-byte-aligned word to the
+// per-byte indices of the most recent stores covering that word. Keys are
+// word+1 so the zero key can mark empty slots.
+type wordStores struct {
+	keys []uint64
+	vals [][8]int32
+	used int
+}
+
+func newWordStores(capacity int) *wordStores {
+	// Round up to a power of two.
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	return &wordStores{keys: make([]uint64, c), vals: make([][8]int32, c)}
+}
+
+func (w *wordStores) slotOf(key uint64) int {
+	mask := uint64(len(w.keys) - 1)
+	i := (key * 0x9E3779B97F4A7C15) >> 32 & mask
+	for {
+		switch w.keys[i] {
+		case key:
+			return int(i)
+		case 0:
+			return -1
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// ensureSlot returns the slot for key, inserting an all-clear entry (and
+// growing the table) if absent.
+func (w *wordStores) ensureSlot(key uint64) int {
+	if w.used*4 >= len(w.keys)*3 {
+		w.grow()
+	}
+	mask := uint64(len(w.keys) - 1)
+	i := (key * 0x9E3779B97F4A7C15) >> 32 & mask
+	for w.keys[i] != 0 {
+		if w.keys[i] == key {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+	w.keys[i] = key
+	w.vals[i] = [8]int32{-1, -1, -1, -1, -1, -1, -1, -1}
+	w.used++
+	return int(i)
+}
+
+func (w *wordStores) grow() {
+	oldKeys, oldVals := w.keys, w.vals
+	w.keys = make([]uint64, 2*len(oldKeys))
+	w.vals = make([][8]int32, 2*len(oldVals))
+	w.used = 0
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		s := w.ensureSlot(k)
+		w.vals[s] = oldVals[i]
+	}
+}
+
+// record marks bytes [addr, addr+width) as last written by store index idx.
+func (w *wordStores) record(addr, width uint64, idx int32) {
+	if width == 0 {
+		return
+	}
+	for word := addr >> 3; word <= (addr+width-1)>>3; word++ {
+		s := w.ensureSlot(word + 1)
+		lo, hi := byteSpan(word, addr, width)
+		for b := lo; b < hi; b++ {
+			w.vals[s][b] = idx
+		}
+	}
+}
+
+// lastOverlapping returns the highest store index covering any byte of
+// [addr, addr+width), or -1.
+func (w *wordStores) lastOverlapping(addr, width uint64) int32 {
+	prod := int32(-1)
+	if width == 0 {
+		return prod
+	}
+	for word := addr >> 3; word <= (addr+width-1)>>3; word++ {
+		s := w.slotOf(word + 1)
+		if s < 0 {
+			continue
+		}
+		lo, hi := byteSpan(word, addr, width)
+		for b := lo; b < hi; b++ {
+			if v := w.vals[s][b]; v > prod {
+				prod = v
+			}
+		}
+	}
+	return prod
+}
+
+// byteSpan clips the access [addr, addr+width) to word's 8 bytes, returning
+// in-word byte offsets.
+func byteSpan(word, addr, width uint64) (lo, hi uint64) {
+	base := word << 3
+	lo, hi = 0, 8
+	if addr > base {
+		lo = addr - base
+	}
+	if end := addr + width; end < base+8 {
+		hi = end - base
+	}
+	return lo, hi
 }

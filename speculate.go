@@ -134,6 +134,56 @@ func (b *Bench) RunPolicy(p core.Policy, cfg machine.Config) (machine.Result, er
 	return machine.Run(b.Trace, b.Deps, p.Source(b.Analysis), cfg)
 }
 
+// PolicyNames lists every runnable configuration name accepted by RunNamed:
+// "superscalar", "rec_pred", and all static spawn policies.
+func PolicyNames() []string {
+	names := []string{"superscalar", "rec_pred"}
+	for _, p := range allPolicies() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// PolicyByName finds a static spawn policy by name.
+func PolicyByName(name string) (core.Policy, bool) {
+	for _, p := range allPolicies() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return core.Policy{}, false
+}
+
+func allPolicies() []core.Policy {
+	ps := core.IndividualPolicies()
+	ps = append(ps, core.CombinationPolicies()...)
+	ps = append(ps, core.ExclusionPolicies()...)
+	return ps
+}
+
+// RunNamed simulates the bench under the named configuration: "superscalar"
+// runs the baseline with a superscalar config, "rec_pred" the dynamic
+// reconvergence predictor, and any static policy name the corresponding
+// spawn source; the two PolyFlow forms take cfg as the machine configuration.
+func (b *Bench) RunNamed(name string, cfg machine.Config) (machine.Result, error) {
+	switch name {
+	case "superscalar":
+		ss := machine.SuperscalarConfig()
+		ss.Telemetry = cfg.Telemetry
+		ss.PolledScheduler = cfg.PolledScheduler
+		ss.WarmupInstrs = cfg.WarmupInstrs
+		return b.RunSuperscalarConfig(ss)
+	case "rec_pred":
+		return b.RunRecPred(cfg)
+	default:
+		p, ok := PolicyByName(name)
+		if !ok {
+			return machine.Result{}, fmt.Errorf("speculate: unknown policy %q (have %v)", name, PolicyNames())
+		}
+		return b.RunPolicy(p, cfg)
+	}
+}
+
 // RunRecPred simulates PolyFlow with the dynamic reconvergence predictor as
 // the spawn source (Section 4.4): the predictor starts cold and trains on
 // the retirement stream, so warm-up effects are modeled.
