@@ -213,9 +213,12 @@ func evalConst(op string, a, b int64) (int64, bool) {
 		if b == 0 {
 			return 0, true // the ISA defines x/0 = 0
 		}
+		if b == -1 {
+			return -a, true // MinInt64/-1 wraps like the ISA, no Go panic
+		}
 		return a / b, true
 	case "%":
-		if b == 0 {
+		if b == 0 || b == -1 {
 			return 0, true
 		}
 		return a % b, true

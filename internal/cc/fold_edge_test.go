@@ -1,0 +1,26 @@
+package cc
+
+import "testing"
+
+// TestDivRemOverflowSemantics: MinInt64/-1 and MinInt64%-1 follow the
+// ISA's wrapping semantics both when constant-folded at compile time and
+// when evaluated at run time through div/rem (a raw Go division in the
+// folder would panic the compiler; found by generative testing).
+func TestDivRemOverflowSemantics(t *testing.T) {
+	const minI64 = -9223372036854775808
+	cases := map[string]int64{
+		// Constant-folded path (fold.go evalConst).
+		"return (-9223372036854775807 - 1) / -1;": minI64,
+		"return (-9223372036854775807 - 1) % -1;": 0,
+		// Runtime path: the variable blocks folding, so the emulator's
+		// OpDIV/OpREM handle the overflow.
+		"var x = -9223372036854775807 - 1; var y = -1; return x / y;": minI64,
+		"var x = -9223372036854775807 - 1; var y = -1; return x % y;": 0,
+		"var x = -9223372036854775807 - 1; var y = 0; return x / y;":  0,
+	}
+	for src, want := range cases {
+		if got := runMain(t, "func main() { "+src+" }"); got != want {
+			t.Errorf("%s = %d, want %d", src, got, want)
+		}
+	}
+}

@@ -33,3 +33,13 @@ func Check(p *isa.Program, tr *trace.Trace) error {
 	// cap is a verified prefix of the architectural execution.
 	return nil
 }
+
+// CheckLabeled is Check with a caller-supplied label prefixed to any
+// divergence. Generative tests pass their "seed=N" label so every checker
+// failure carries its one-command reproduction handle.
+func CheckLabeled(p *isa.Program, tr *trace.Trace, label string) error {
+	if err := Check(p, tr); err != nil {
+		return fmt.Errorf("%s: %w", label, err)
+	}
+	return nil
+}

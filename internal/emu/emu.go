@@ -107,16 +107,21 @@ func (m *Machine) Step(tr *trace.Trace) error {
 	case isa.OpMUL:
 		result, writeDst = rs*rt, true
 	case isa.OpDIV:
-		if rt == 0 {
+		switch rt {
+		case 0:
 			result = 0
-		} else {
+		case -1:
+			// MinInt64 / -1 overflows; the ISA wraps (and Go would panic).
+			result = -rs
+		default:
 			result = rs / rt
 		}
 		writeDst = true
 	case isa.OpREM:
-		if rt == 0 {
+		switch rt {
+		case 0, -1: // x % -1 is 0 for every x, incl. the Go-panicking MinInt64
 			result = 0
-		} else {
+		default:
 			result = rs % rt
 		}
 		writeDst = true

@@ -1,0 +1,744 @@
+package progen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tier 2: random MiniC programs plus a direct AST interpreter. The
+// interpreter shares no code with internal/cc — it is the independent
+// implementation the compiler is checked against: both sides must agree
+// on main's return value, which the generator arranges to be a mix of
+// every global (so a wrong store anywhere shows up at the end).
+//
+// Termination is by construction, exactly as in Tier 3: all loops are
+// counter loops over dedicated induction variables the body never
+// assigns, and the call graph is acyclic (function i only calls
+// functions with a lower index; main is generated last and may call
+// anything). `continue` appears only in for-loops, whose post clause
+// still runs; `break` may appear in either loop form.
+
+const (
+	mcMaxFuncs   = 4
+	mcFuncBudget = 6000 // worst-case interpreter steps per function
+	mcStepBudget = 2_000_000
+)
+
+type mcProg struct {
+	arrays  []mcArray
+	globals []string
+	funcs   []*mcFunc // helpers first, main last
+}
+
+type mcArray struct {
+	name string
+	size int // power of two
+}
+
+type mcFunc struct {
+	idx    int // position in mcProg.funcs; main has the highest
+	name   string
+	params []string
+	locals []mcLocal
+	body   []mcStmt
+	ret    mcExpr
+	cost   int
+	nloops int // loop-variable counter
+}
+
+type mcLocal struct {
+	name string
+	init mcExpr
+}
+
+// Statements. scost() is a worst-case interpreter-step estimate.
+type mcStmt interface{ scost() int }
+
+type mcAssign struct {
+	target string
+	arr    *mcArray // non-nil for array-element stores
+	index  mcExpr
+	rhs    mcExpr
+}
+
+func (s *mcAssign) scost() int { return 1 + exprCost(s.rhs) + exprCost(s.index) }
+
+type mcIf struct {
+	cond      mcExpr
+	then, els []mcStmt
+}
+
+func (s *mcIf) scost() int {
+	c := 1 + exprCost(s.cond)
+	for _, x := range s.then {
+		c += x.scost()
+	}
+	for _, x := range s.els {
+		c += x.scost()
+	}
+	return c
+}
+
+type mcLoop struct {
+	isFor bool // for-loop (continue allowed) vs while-loop
+	v     string
+	bound int
+	body  []mcStmt
+}
+
+func (s *mcLoop) scost() int {
+	c := 0
+	for _, x := range s.body {
+		c += x.scost()
+	}
+	return 2 + s.bound*(c+3)
+}
+
+type mcBreak struct{}
+
+func (s *mcBreak) scost() int { return 1 }
+
+type mcContinue struct{}
+
+func (s *mcContinue) scost() int { return 1 }
+
+type mcReturn struct{ value mcExpr }
+
+func (s *mcReturn) scost() int { return 1 + exprCost(s.value) }
+
+type mcExprStmt struct{ call *mcCall }
+
+func (s *mcExprStmt) scost() int { return exprCost(s.call) }
+
+// Expressions.
+type mcExpr interface{}
+
+type mcConst struct{ v int64 }
+type mcVar struct{ name string }
+type mcArrRead struct {
+	arr *mcArray
+	idx mcExpr
+}
+type mcUn struct {
+	op string
+	x  mcExpr
+}
+type mcBin struct {
+	op   string
+	x, y mcExpr
+}
+type mcCall struct {
+	fn   *mcFunc
+	args []mcExpr
+}
+
+func exprCost(e mcExpr) int {
+	switch n := e.(type) {
+	case nil:
+		return 0
+	case *mcConst, *mcVar:
+		return 1
+	case *mcArrRead:
+		return 1 + exprCost(n.idx)
+	case *mcUn:
+		return 1 + exprCost(n.x)
+	case *mcBin:
+		return 1 + exprCost(n.x) + exprCost(n.y)
+	case *mcCall:
+		c := 2 + n.fn.cost
+		for _, a := range n.args {
+			c += exprCost(a)
+		}
+		return c
+	}
+	return 1
+}
+
+// ------------------------------------------------------------ generation
+
+// GenMiniC renders the Tier-2 source for seed; byte-identical for
+// identical seeds.
+func GenMiniC(seed uint64) string { return genMiniCProg(newRNG(seed)).render() }
+
+func genMiniCProg(r *rng) *mcProg {
+	p := &mcProg{}
+	for i, n := 0, r.rangeInt(1, 2); i < n; i++ {
+		p.globals = append(p.globals, fmt.Sprintf("g%d", i))
+	}
+	for i, n := 0, r.rangeInt(0, 2); i < n; i++ {
+		p.arrays = append(p.arrays, mcArray{name: fmt.Sprintf("a%d", i), size: []int{8, 16, 32}[r.intn(3)]})
+	}
+	nFuncs := r.rangeInt(1, mcMaxFuncs)
+	for i := 0; i < nFuncs; i++ {
+		f := &mcFunc{idx: i, name: fmt.Sprintf("f%d", i)}
+		if i == nFuncs-1 {
+			f.name = "main"
+		} else {
+			for j, np := 0, r.rangeInt(0, 3); j < np; j++ {
+				f.params = append(f.params, fmt.Sprintf("p%d", j))
+			}
+		}
+		p.genFunc(r, f)
+		p.funcs = append(p.funcs, f)
+	}
+	return p
+}
+
+func (p *mcProg) genFunc(r *rng, f *mcFunc) {
+	for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+		name := fmt.Sprintf("x%d", i)
+		f.locals = append(f.locals, mcLocal{name: name, init: p.genExpr(r, f, 1, false)})
+	}
+	budget := mcFuncBudget
+	f.body = p.genStmts(r, f, &budget, r.rangeInt(2, 5), 0, false)
+	// The return value folds in every global, so a bad store anywhere in
+	// the call tree surfaces in main's result.
+	ret := p.genExpr(r, f, 1, false)
+	for _, g := range p.globals {
+		ret = &mcBin{op: "^", x: ret, y: &mcVar{name: g}}
+	}
+	f.ret = ret
+	f.cost = 2
+	for _, l := range f.locals {
+		f.cost += exprCost(l.init)
+	}
+	for _, s := range f.body {
+		f.cost += s.scost()
+	}
+	f.cost += exprCost(f.ret)
+}
+
+// genStmts generates up to want statements. loopDepth counts enclosing
+// generated loops (capped at 2) and gates break; inFor reports whether the
+// innermost enclosing loop is a for-loop, the only place continue is safe
+// (a while-loop's trailing increment would be skipped).
+func (p *mcProg) genStmts(r *rng, f *mcFunc, budget *int, want, loopDepth int, inFor bool) []mcStmt {
+	var out []mcStmt
+	for i := 0; i < want; i++ {
+		s := p.genStmt(r, f, budget, loopDepth, inFor)
+		if s == nil {
+			break
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (p *mcProg) genStmt(r *rng, f *mcFunc, budget *int, loopDepth int, inFor bool) mcStmt {
+	// Compound statements recurse into their bodies before they are
+	// charged, so a near-empty budget must stop the recursion up front.
+	if *budget <= 3 {
+		if *budget >= 2 {
+			s := &mcAssign{target: p.pickAssignable(r, f), rhs: &mcConst{v: int64(r.rangeInt(-8, 8))}}
+			*budget -= s.scost()
+			return s
+		}
+		return nil
+	}
+	charge := func(s mcStmt) mcStmt {
+		if c := s.scost(); c <= *budget {
+			*budget -= c
+			return s
+		}
+		return nil
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		switch r.intn(12) {
+		case 0, 1, 2, 3: // assignment
+			s := &mcAssign{rhs: p.genExpr(r, f, r.rangeInt(1, 3), true)}
+			if len(p.arrays) > 0 && r.chance(1, 3) {
+				s.arr = &p.arrays[r.intn(len(p.arrays))]
+				s.target = s.arr.name
+				s.index = p.genExpr(r, f, 1, false)
+			} else {
+				s.target = p.pickAssignable(r, f)
+			}
+			if c := charge(s); c != nil {
+				return c
+			}
+		case 4, 5: // if / if-else
+			s := &mcIf{cond: p.genExpr(r, f, 2, false)}
+			inner := *budget / 2
+			s.then = p.genStmts(r, f, &inner, r.rangeInt(1, 3), loopDepth, inFor)
+			if r.chance(1, 2) {
+				s.els = p.genStmts(r, f, &inner, r.rangeInt(1, 2), loopDepth, inFor)
+			}
+			if len(s.then) == 0 {
+				continue
+			}
+			if c := charge(s); c != nil {
+				return c
+			}
+		case 6, 7: // counter loop
+			if loopDepth >= 2 {
+				continue
+			}
+			s := &mcLoop{isFor: r.chance(1, 2), bound: r.rangeInt(2, 8)}
+			s.v = fmt.Sprintf("i%d", f.nloops)
+			f.nloops++
+			f.locals = append(f.locals, mcLocal{name: s.v, init: &mcConst{v: 0}})
+			inner := *budget/(s.bound+1) - 3
+			s.body = p.genStmts(r, f, &inner, r.rangeInt(1, 4), loopDepth+1, s.isFor)
+			if len(s.body) == 0 {
+				continue
+			}
+			if c := charge(s); c != nil {
+				return c
+			}
+		case 8: // break / continue, only inside a loop
+			if loopDepth == 0 {
+				continue
+			}
+			// Wrap in an if so the loop usually still iterates. continue
+			// is only safe when the innermost loop is a for-loop: its post
+			// clause still runs, whereas a while-loop's trailing increment
+			// would be skipped and the loop would never terminate.
+			s := &mcIf{cond: p.genExpr(r, f, 1, false)}
+			if !inFor || r.chance(1, 2) {
+				s.then = []mcStmt{&mcBreak{}}
+			} else {
+				s.then = []mcStmt{&mcContinue{}}
+			}
+			if c := charge(s); c != nil {
+				return c
+			}
+		case 9: // early return inside a conditional
+			if loopDepth > 0 || r.chance(2, 3) {
+				continue
+			}
+			s := &mcIf{cond: p.genExpr(r, f, 1, false),
+				then: []mcStmt{&mcReturn{value: p.genExpr(r, f, 1, false)}}}
+			if c := charge(s); c != nil {
+				return c
+			}
+		case 10, 11: // call for effect
+			if call := p.genCall(r, f); call != nil {
+				if c := charge(&mcExprStmt{call: call}); c != nil {
+					return c
+				}
+			}
+		}
+	}
+	if *budget >= 2 {
+		s := &mcAssign{target: p.pickAssignable(r, f), rhs: &mcConst{v: int64(r.rangeInt(-8, 8))}}
+		*budget -= s.scost()
+		return s
+	}
+	return nil
+}
+
+// pickAssignable returns a global, parameter, or non-induction local.
+func (p *mcProg) pickAssignable(r *rng, f *mcFunc) string {
+	var pool []string
+	pool = append(pool, p.globals...)
+	pool = append(pool, f.params...)
+	for _, l := range f.locals {
+		if !strings.HasPrefix(l.name, "i") {
+			pool = append(pool, l.name)
+		}
+	}
+	return pool[r.intn(len(pool))]
+}
+
+// pickReadable returns any visible name, induction variables included.
+func (p *mcProg) pickReadable(r *rng, f *mcFunc) string {
+	var pool []string
+	pool = append(pool, p.globals...)
+	pool = append(pool, f.params...)
+	for _, l := range f.locals {
+		pool = append(pool, l.name)
+	}
+	return pool[r.intn(len(pool))]
+}
+
+var mcBinOps = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+var mcUnOps = []string{"-", "!", "~"}
+
+func (p *mcProg) genExpr(r *rng, f *mcFunc, depth int, allowCall bool) mcExpr {
+	if depth <= 0 || r.chance(1, 4) {
+		switch {
+		case r.chance(1, 3):
+			return &mcConst{v: int64(r.rangeInt(-64, 64))}
+		case len(p.arrays) > 0 && r.chance(1, 4):
+			return &mcArrRead{arr: &p.arrays[r.intn(len(p.arrays))], idx: p.genExpr(r, f, 0, false)}
+		default:
+			return &mcVar{name: p.pickReadable(r, f)}
+		}
+	}
+	switch {
+	case allowCall && r.chance(1, 6):
+		if call := p.genCall(r, f); call != nil {
+			return call
+		}
+		fallthrough
+	case r.chance(1, 5):
+		return &mcUn{op: mcUnOps[r.intn(len(mcUnOps))], x: p.genExpr(r, f, depth-1, false)}
+	default:
+		return &mcBin{
+			op: mcBinOps[r.intn(len(mcBinOps))],
+			x:  p.genExpr(r, f, depth-1, allowCall),
+			y:  p.genExpr(r, f, depth-1, false),
+		}
+	}
+}
+
+// genCall builds a call to a lower-indexed helper, or nil when f can call
+// nothing (f0 and single-function programs).
+func (p *mcProg) genCall(r *rng, f *mcFunc) *mcCall {
+	if f.idx == 0 {
+		return nil
+	}
+	callee := p.funcs[r.intn(f.idx)]
+	call := &mcCall{fn: callee}
+	for range callee.params {
+		call.args = append(call.args, p.genExpr(r, f, 1, false))
+	}
+	return call
+}
+
+// ------------------------------------------------------------- rendering
+
+func (p *mcProg) render() string {
+	var b strings.Builder
+	b.WriteString("// progen tier-2 program\n")
+	for _, g := range p.globals {
+		fmt.Fprintf(&b, "var %s;\n", g)
+	}
+	for _, a := range p.arrays {
+		fmt.Fprintf(&b, "var %s[%d];\n", a.name, a.size)
+	}
+	for _, f := range p.funcs {
+		fmt.Fprintf(&b, "\nfunc %s(%s) {\n", f.name, strings.Join(f.params, ", "))
+		for _, l := range f.locals {
+			fmt.Fprintf(&b, "  var %s = %s;\n", l.name, renderExpr(l.init))
+		}
+		renderStmts(&b, f.body, 1)
+		fmt.Fprintf(&b, "  return %s;\n}\n", renderExpr(f.ret))
+	}
+	return b.String()
+}
+
+func renderStmts(b *strings.Builder, ss []mcStmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		switch n := s.(type) {
+		case *mcAssign:
+			if n.arr != nil {
+				fmt.Fprintf(b, "%s%s[%s] = %s;\n", ind, n.target, renderIndex(n.arr, n.index), renderExpr(n.rhs))
+			} else {
+				fmt.Fprintf(b, "%s%s = %s;\n", ind, n.target, renderExpr(n.rhs))
+			}
+		case *mcIf:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, renderExpr(n.cond))
+			renderStmts(b, n.then, depth+1)
+			if len(n.els) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				renderStmts(b, n.els, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *mcLoop:
+			if n.isFor {
+				fmt.Fprintf(b, "%sfor (%s = 0; (%s) < %d; %s = (%s) + 1) {\n", ind, n.v, n.v, n.bound, n.v, n.v)
+				renderStmts(b, n.body, depth+1)
+				fmt.Fprintf(b, "%s}\n", ind)
+			} else {
+				// Reset the counter like a for-init would: the loop may
+				// execute again (e.g. nested in an outer loop).
+				fmt.Fprintf(b, "%s%s = 0;\n", ind, n.v)
+				fmt.Fprintf(b, "%swhile ((%s) < %d) {\n", ind, n.v, n.bound)
+				renderStmts(b, n.body, depth+1)
+				fmt.Fprintf(b, "%s  %s = (%s) + 1;\n", ind, n.v, n.v)
+				fmt.Fprintf(b, "%s}\n", ind)
+			}
+		case *mcBreak:
+			fmt.Fprintf(b, "%sbreak;\n", ind)
+		case *mcContinue:
+			fmt.Fprintf(b, "%scontinue;\n", ind)
+		case *mcReturn:
+			fmt.Fprintf(b, "%sreturn %s;\n", ind, renderExpr(n.value))
+		case *mcExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, renderExpr(n.call))
+		}
+	}
+}
+
+// renderIndex masks an index expression into the array's bounds.
+func renderIndex(a *mcArray, idx mcExpr) string {
+	return fmt.Sprintf("(%s) & %d", renderExpr(idx), a.size-1)
+}
+
+// renderExpr emits fully parenthesized source, sidestepping any
+// precedence questions (the compiler's own tests cover precedence).
+func renderExpr(e mcExpr) string {
+	switch n := e.(type) {
+	case *mcConst:
+		if n.v < 0 {
+			return fmt.Sprintf("(-%d)", -n.v)
+		}
+		return fmt.Sprintf("%d", n.v)
+	case *mcVar:
+		return n.name
+	case *mcArrRead:
+		return fmt.Sprintf("%s[%s]", n.arr.name, renderIndex(n.arr, n.idx))
+	case *mcUn:
+		return fmt.Sprintf("(%s(%s))", n.op, renderExpr(n.x))
+	case *mcBin:
+		return fmt.Sprintf("((%s) %s (%s))", renderExpr(n.x), n.op, renderExpr(n.y))
+	case *mcCall:
+		args := make([]string, len(n.args))
+		for i, a := range n.args {
+			args[i] = renderExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", n.fn.name, strings.Join(args, ", "))
+	}
+	return "0"
+}
+
+// ---------------------------------------------------------- interpreter
+
+type mcInterp struct {
+	prog    *mcProg
+	globals map[string]int64
+	arrays  map[string][]int64
+	steps   int
+	err     error
+}
+
+type mcFrame struct {
+	vars map[string]int64
+}
+
+// ctl is the statement-level control outcome.
+type ctl int
+
+const (
+	ctlNext ctl = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// interpret runs main under the step budget and returns its value — the
+// reference result the compiled program must reproduce.
+func (p *mcProg) interpret() (int64, error) {
+	in := &mcInterp{prog: p, globals: map[string]int64{}, arrays: map[string][]int64{}}
+	for _, g := range p.globals {
+		in.globals[g] = 0
+	}
+	for _, a := range p.arrays {
+		in.arrays[a.name] = make([]int64, a.size)
+	}
+	v := in.callFunc(p.funcs[len(p.funcs)-1], nil)
+	return v, in.err
+}
+
+func (in *mcInterp) step() bool {
+	in.steps++
+	if in.steps > mcStepBudget && in.err == nil {
+		in.err = fmt.Errorf("interpreter step budget exceeded (non-terminating generation bug)")
+	}
+	return in.err == nil
+}
+
+func (in *mcInterp) callFunc(f *mcFunc, args []int64) int64 {
+	fr := &mcFrame{vars: map[string]int64{}}
+	for i, prm := range f.params {
+		if i < len(args) {
+			fr.vars[prm] = args[i]
+		}
+	}
+	for _, l := range f.locals {
+		fr.vars[l.name] = in.eval(l.init, fr)
+	}
+	if c, v := in.execStmts(f.body, fr); c == ctlReturn {
+		return v
+	}
+	return in.eval(f.ret, fr)
+}
+
+func (in *mcInterp) execStmts(ss []mcStmt, fr *mcFrame) (ctl, int64) {
+	for _, s := range ss {
+		if !in.step() {
+			return ctlReturn, 0
+		}
+		switch n := s.(type) {
+		case *mcAssign:
+			v := in.eval(n.rhs, fr)
+			if n.arr != nil {
+				idx := in.eval(n.index, fr) & int64(n.arr.size-1)
+				in.arrays[n.arr.name][idx] = v
+			} else {
+				in.assign(n.target, v, fr)
+			}
+		case *mcIf:
+			if in.eval(n.cond, fr) != 0 {
+				if c, v := in.execStmts(n.then, fr); c != ctlNext {
+					return c, v
+				}
+			} else if c, v := in.execStmts(n.els, fr); c != ctlNext {
+				return c, v
+			}
+		case *mcLoop:
+			fr.vars[n.v] = 0
+			for fr.vars[n.v] < int64(n.bound) {
+				if !in.step() {
+					return ctlReturn, 0
+				}
+				c, v := in.execStmts(n.body, fr)
+				if c == ctlReturn {
+					return c, v
+				}
+				if c == ctlBreak {
+					break
+				}
+				// ctlContinue reaches the increment: generated while-loops
+				// never contain continue (only for-loops do, and a for
+				// post clause runs on continue).
+				fr.vars[n.v]++
+			}
+		case *mcBreak:
+			return ctlBreak, 0
+		case *mcContinue:
+			return ctlContinue, 0
+		case *mcReturn:
+			return ctlReturn, in.eval(n.value, fr)
+		case *mcExprStmt:
+			in.eval(n.call, fr)
+		}
+	}
+	return ctlNext, 0
+}
+
+func (in *mcInterp) assign(name string, v int64, fr *mcFrame) {
+	if _, ok := fr.vars[name]; ok {
+		fr.vars[name] = v
+		return
+	}
+	in.globals[name] = v
+}
+
+func (in *mcInterp) lookup(name string, fr *mcFrame) int64 {
+	if v, ok := fr.vars[name]; ok {
+		return v
+	}
+	return in.globals[name]
+}
+
+// eval mirrors the ISA semantics the compiler targets: 64-bit wraparound,
+// x/0 = x%0 = 0, MinInt64/-1 wraps (see emu), shift counts masked to 6
+// bits, >> arithmetic, comparisons and logical operators yielding 0/1.
+func (in *mcInterp) eval(e mcExpr, fr *mcFrame) int64 {
+	if !in.step() {
+		return 0
+	}
+	switch n := e.(type) {
+	case nil:
+		return 0
+	case *mcConst:
+		return n.v
+	case *mcVar:
+		return in.lookup(n.name, fr)
+	case *mcArrRead:
+		idx := in.eval(n.idx, fr) & int64(n.arr.size-1)
+		return in.arrays[n.arr.name][idx]
+	case *mcUn:
+		x := in.eval(n.x, fr)
+		switch n.op {
+		case "-":
+			return -x
+		case "!":
+			return b2i64(x == 0)
+		case "~":
+			return ^x
+		}
+	case *mcBin:
+		x := in.eval(n.x, fr)
+		// Short-circuit forms must not evaluate the right side's calls.
+		switch n.op {
+		case "&&":
+			if x == 0 {
+				return 0
+			}
+			return b2i64(in.eval(n.y, fr) != 0)
+		case "||":
+			if x != 0 {
+				return 1
+			}
+			return b2i64(in.eval(n.y, fr) != 0)
+		}
+		y := in.eval(n.y, fr)
+		switch n.op {
+		case "+":
+			return x + y
+		case "-":
+			return x - y
+		case "*":
+			return x * y
+		case "/":
+			return divISA(x, y)
+		case "%":
+			return remISA(x, y)
+		case "&":
+			return x & y
+		case "|":
+			return x | y
+		case "^":
+			return x ^ y
+		case "<<":
+			return x << (uint64(y) & 63)
+		case ">>":
+			return x >> (uint64(y) & 63)
+		case "<":
+			return b2i64(x < y)
+		case "<=":
+			return b2i64(x <= y)
+		case ">":
+			return b2i64(x > y)
+		case ">=":
+			return b2i64(x >= y)
+		case "==":
+			return b2i64(x == y)
+		case "!=":
+			return b2i64(x != y)
+		}
+	case *mcCall:
+		args := make([]int64, len(n.args))
+		for i, a := range n.args {
+			args[i] = in.eval(a, fr)
+		}
+		return in.callFunc(n.fn, args)
+	}
+	return 0
+}
+
+// divISA and remISA are the ISA's total division: x/0 = x%0 = 0, and the
+// MinInt64/-1 overflow case wraps instead of trapping (matching emu and
+// cc's constant folder).
+func divISA(x, y int64) int64 {
+	switch {
+	case y == 0:
+		return 0
+	case x == math.MinInt64 && y == -1:
+		return x
+	}
+	return x / y
+}
+
+func remISA(x, y int64) int64 {
+	switch {
+	case y == 0:
+		return 0
+	case x == math.MinInt64 && y == -1:
+		return 0
+	}
+	return x % y
+}
+
+func b2i64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

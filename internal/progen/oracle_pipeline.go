@@ -1,0 +1,206 @@
+package progen
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/asm"
+	"repro/internal/cc"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// asmMaxInstrs caps generated-program emulation well above the generator's
+// worst-case dynamic cost (asmMaxFuncs * asmFuncBudget), so hitting it
+// means the termination guarantee itself is broken.
+const asmMaxInstrs = 400_000
+
+// CheckAsmSeed generates the Tier-3 assembly program for seed and drives
+// it through the whole stack: assemble, emulate to halt, architectural
+// replay (emu.Check), static analysis, and the graph oracles over every
+// compiled function CFG.
+func CheckAsmSeed(seed uint64) error {
+	return fail("isa", seed, checkCompiled(GenAsm(seed), fmt.Sprintf("progen tier=isa seed=%d", seed)))
+}
+
+// CheckAsmSource runs the same battery over an arbitrary assembly source —
+// the entry point cmd/progen's minimizer probes candidate reductions with.
+func CheckAsmSource(src string) error { return checkCompiled(src, "standalone") }
+
+// CheckMachineSource runs the scheduler differential over an arbitrary
+// assembly source.
+func CheckMachineSource(src string) error { return checkMachine(src) }
+
+// CheckMiniCSeed generates the Tier-2 MiniC program for seed, predicts
+// main's return value with the independent AST interpreter, compiles the
+// source through internal/cc, and requires the emulated $v0 to match —
+// then reuses the compiled image for the full Tier-3 oracle battery.
+func CheckMiniCSeed(seed uint64) error {
+	return fail("minic", seed, checkMiniC(seed))
+}
+
+func checkMiniC(seed uint64) error {
+	prog := genMiniCProg(newRNG(seed))
+	want, err := prog.interpret()
+	if err != nil {
+		return fmt.Errorf("reference interpreter: %w", err)
+	}
+	p, err := checkMiniCValue(prog.render(), want)
+	if err != nil {
+		return err
+	}
+	// The compiled image is a normal ISA program — run the rest of the
+	// stack's oracles over it too.
+	return checkProgram(p, fmt.Sprintf("progen tier=minic seed=%d", seed))
+}
+
+// checkMiniCValue compiles one MiniC source and requires the emulated
+// main() return value to equal the interpreter's prediction, returning
+// the compiled image for further oracles.
+func checkMiniCValue(src string, want int64) (*isa.Program, error) {
+	p, err := cc.CompileAndAssemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("compiling generated MiniC: %w", err)
+	}
+	m := emu.New(p, 0)
+	for !m.Halted && m.Count < asmMaxInstrs {
+		if err := m.Step(nil); err != nil {
+			return nil, fmt.Errorf("emulating compiled MiniC: %w", err)
+		}
+	}
+	if !m.Halted {
+		return nil, fmt.Errorf("compiled MiniC did not halt within %d instructions", asmMaxInstrs)
+	}
+	if got := m.Regs[isa.V0]; got != want {
+		return nil, fmt.Errorf("compiler vs interpreter: main() returned %d, interpreter says %d", got, want)
+	}
+	return p, nil
+}
+
+// checkCompiled assembles one generated source and runs the
+// emulate→check→analyze oracle battery over the image.
+func checkCompiled(src, label string) error {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return fmt.Errorf("assembling generated program: %w", err)
+	}
+	return checkProgram(p, label)
+}
+
+// checkProgram emulates a program to halt, replays the trace through the
+// architectural checker, runs the static analysis, and cross-checks the
+// dominator implementations and loop-forest invariants on every compiled
+// function CFG.
+func checkProgram(p *isa.Program, label string) error {
+	tr, err := emu.Run(p, emu.Config{MaxInstrs: asmMaxInstrs})
+	if err != nil {
+		return fmt.Errorf("emulating: %w", err)
+	}
+	if err := emu.CheckLabeled(p, tr, label); err != nil {
+		return err
+	}
+	if _, err := core.Analyze(p, tr.IndirectTargets()); err != nil {
+		return fmt.Errorf("analyzing: %w", err)
+	}
+	graphs, err := cfg.BuildAll(p, tr.IndirectTargets())
+	if err != nil {
+		return fmt.Errorf("building CFGs: %w", err)
+	}
+	for _, g := range graphs {
+		c := &CFG{Succs: g.SuccLists(), Entry: g.Entry(), Exit: g.Exit()}
+		if err := CheckCFG(c); err != nil {
+			return fmt.Errorf("func 0x%x: %w", g.FuncEntry, err)
+		}
+	}
+	return nil
+}
+
+// CheckMachineSeed generates the Tier-3 program for seed and runs the
+// trace through both scheduler implementations (event-driven and polled)
+// under every stress configuration, requiring bit-identical Results; the
+// superscalar baseline must additionally retire the whole trace.
+func CheckMachineSeed(seed uint64) error {
+	return fail("machine", seed, checkMachine(GenAsm(seed)))
+}
+
+func checkMachine(src string) error {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return fmt.Errorf("assembling generated program: %w", err)
+	}
+	tr, err := emu.Run(p, emu.Config{MaxInstrs: asmMaxInstrs})
+	if err != nil {
+		return fmt.Errorf("emulating: %w", err)
+	}
+	an, err := core.Analyze(p, tr.IndirectTargets())
+	if err != nil {
+		return fmt.Errorf("analyzing: %w", err)
+	}
+
+	ss := machine.SuperscalarConfig()
+	base, err := machine.Run(tr, nil, nil, ss)
+	if err != nil {
+		return fmt.Errorf("superscalar run: %w", err)
+	}
+	if base.Retired != int64(tr.Len()) {
+		return fmt.Errorf("superscalar retired %d of %d trace entries", base.Retired, tr.Len())
+	}
+
+	for name, cfg := range machineStressConfigs() {
+		if err := checkSchedPair(tr, an, name, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// machineStressConfigs mirrors the hand-written differential test's
+// configurations: a tiny scheduler, ROB reclaim, a small hint cache, and a
+// short divert queue each exercise a different structural difference
+// between the two scheduler implementations.
+func machineStressConfigs() map[string]machine.Config {
+	tiny := machine.PolyFlowConfig()
+	tiny.SchedSize = 12
+	tiny.SchedReserve = 4
+	tiny.NumFUs = 3
+
+	reclaim := machine.PolyFlowConfig()
+	reclaim.ReclaimROB = true
+	reclaim.ROBSize = 96
+	reclaim.ROBReserve = 16
+
+	divert := machine.PolyFlowConfig()
+	divert.DivertQSize = 8
+
+	return map[string]machine.Config{
+		"polyflow":   machine.PolyFlowConfig(),
+		"tiny-sched": tiny,
+		"reclaim":    reclaim,
+		"divert-8":   divert,
+	}
+}
+
+func checkSchedPair(tr *trace.Trace, an *core.Analysis, name string, cfg machine.Config) error {
+	cfg.WarmupInstrs = 0
+	src := core.PolicyPostdoms.Source(an)
+	event, err := machine.Run(tr, nil, src, cfg)
+	if err != nil {
+		return fmt.Errorf("%s event-driven run: %w", name, err)
+	}
+	cfg.PolledScheduler = true
+	polled, err := machine.Run(tr, nil, core.PolicyPostdoms.Source(an), cfg)
+	if err != nil {
+		return fmt.Errorf("%s polled run: %w", name, err)
+	}
+	if !reflect.DeepEqual(event, polled) {
+		return fmt.Errorf("%s: schedulers diverge:\nevent:  %+v\npolled: %+v", name, event, polled)
+	}
+	if event.Retired != int64(tr.Len()) {
+		return fmt.Errorf("%s: retired %d of %d trace entries", name, event.Retired, tr.Len())
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package reconv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPredictorEdgeCases is the table-driven battery over the predictor's
+// structural corners: cold lookups, candidate ratcheting when the first
+// guess aliases a PC inside one arm, two branches sharing (aliasing) one
+// reconvergence PC, and capacity-capped entry allocation.
+func TestPredictorEdgeCases(t *testing.T) {
+	type want struct {
+		branch   string // label of the branch being queried
+		reconv   string // expected reconvergence label ("" = no prediction)
+		category Category
+	}
+	cases := []struct {
+		name  string
+		src   string
+		cfg   Config
+		wants []want
+	}{
+		{
+			// A branch the trace never executes twice has confidence 1 and
+			// must not be served at threshold 2.
+			name: "cold-single-instance",
+			src: `
+        andi $t0, $t9, 1
+br:     beq  $t0, $zero, els
+        addi $s0, $s0, 1
+els:    halt
+`,
+			cfg:   DefaultConfig(),
+			wants: []want{{branch: "br", reconv: ""}},
+		},
+		{
+			// Alternating arms: the first instance's below-branch PC lies
+			// inside the then-arm, so the candidate aliases an arm PC and
+			// must be ratcheted forward to the real join.
+			name: "ratchet-past-arm-alias",
+			src: `
+        li   $t9, 24
+loop:   andi $t0, $t9, 1
+br:     beq  $t0, $zero, els
+        addi $s0, $s0, 1
+        addi $s0, $s0, 2
+        j    join
+els:    addi $s0, $s0, 3
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`,
+			cfg:   DefaultConfig(),
+			wants: []want{{branch: "br", reconv: "join", category: CatBelowBranch}},
+		},
+		{
+			// Two distinct branches reconverging at the same PC: the shared
+			// (aliased) join must be learned independently for both.
+			name: "shared-join-two-branches",
+			src: `
+        li   $t9, 24
+loop:   andi $t0, $t9, 1
+bra:    beq  $t0, $zero, mid
+        addi $s0, $s0, 1
+mid:    andi $t1, $t9, 2
+brb:    beq  $t1, $zero, join
+        addi $s1, $s1, 1
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`,
+			cfg: DefaultConfig(),
+			wants: []want{
+				{branch: "bra", reconv: "mid", category: CatBelowBranch},
+				{branch: "brb", reconv: "join", category: CatBelowBranch},
+			},
+		},
+		{
+			// A branch that always jumps backward to a return: the frame
+			// leaves before any PC above the branch retires, so it is
+			// learned as CatReturn and never served as a spawn target.
+			name: "return-category",
+			src: `
+        .func main
+main:   li   $t9, 16
+ml:     jal  f
+        addi $t9, $t9, -1
+        bgtz $t9, ml
+        halt
+        .func f
+f:      j    fbr
+fret:   addi $s0, $s0, 1
+        ret
+fbr:    blez $zero, fret
+        addi $s1, $s1, 1
+        ret
+`,
+			cfg:   DefaultConfig(),
+			wants: []want{{branch: "fbr", reconv: "", category: CatReturn}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pred, p, _ := trainOn(t, c.src, c.cfg)
+			for _, w := range c.wants {
+				pc, ok := p.Labels[w.branch]
+				if !ok {
+					t.Fatalf("no label %q in program", w.branch)
+				}
+				got, served := pred.Predict(pc)
+				if w.reconv == "" {
+					if served {
+						t.Errorf("%s: served %#x, want no prediction", w.branch, got)
+					}
+				} else if !served || got != p.Labels[w.reconv] {
+					t.Errorf("%s: reconv = %#x (served=%v), want %s=%#x",
+						w.branch, got, served, w.reconv, p.Labels[w.reconv])
+				}
+				if w.category != CatNone && pred.CategoryOf(pc) != w.category {
+					t.Errorf("%s: category = %v, want %v", w.branch, pred.CategoryOf(pc), w.category)
+				}
+			}
+		})
+	}
+}
+
+// TestCapacityKeepsTrainingResidents: once MaxEntries is reached, new
+// branches are not allocated, but resident entries keep training and keep
+// serving predictions.
+func TestCapacityKeepsTrainingResidents(t *testing.T) {
+	// br0 retires first and claims the single entry; br1 must be ignored.
+	pred, p, _ := trainOn(t, `
+        li   $t9, 24
+loop:   andi $t0, $t9, 1
+br0:    beq  $t0, $zero, m
+        addi $s0, $s0, 1
+m:      andi $t1, $t9, 2
+br1:    beq  $t1, $zero, join
+        addi $s1, $s1, 1
+join:   addi $t9, $t9, -1
+        bgtz $t9, loop
+        halt
+`, Config{Window: 512, ConfThreshold: 2, MaxEntries: 1})
+	if got := pred.Entries(); got != 1 {
+		t.Fatalf("entries = %d, want exactly the cap (1)", got)
+	}
+	if got, ok := pred.Predict(p.Labels["br0"]); !ok || got != p.Labels["m"] {
+		t.Errorf("resident branch lost training: reconv = %#x, ok=%v", got, ok)
+	}
+	if _, ok := pred.Predict(p.Labels["br1"]); ok {
+		t.Errorf("over-capacity branch was tracked and served")
+	}
+}
+
+// TestTinyWindowExpiresMonitors: a window shorter than the loop body means
+// monitors expire with no below-branch observation, so the backward loop
+// branch never gains confidence.
+func TestTinyWindowExpiresMonitors(t *testing.T) {
+	var body string
+	for i := 0; i < 12; i++ {
+		body += fmt.Sprintf("        addi $s0, $s0, %d\n", i)
+	}
+	pred, p, _ := trainOn(t, `
+        li   $t9, 20
+loop:
+`+body+`
+        addi $t9, $t9, -1
+lbr:    bgtz $t9, loop
+        halt
+`, Config{Window: 4, ConfThreshold: 2})
+	if _, ok := pred.Predict(p.Labels["lbr"]); ok {
+		t.Errorf("loop branch served despite monitors expiring before fall-through")
+	}
+}
