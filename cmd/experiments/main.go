@@ -8,11 +8,13 @@
 //	experiments -fig 9 -format csv
 //	experiments -fig 12 -format json
 //	experiments -fig 9 -bench twolf -policy postdoms -trace-dir out/
+//	experiments -fig 9 -attrib-dir attrib/
 //
 // -bench and -policy take comma-separated lists and narrow the grid to the
 // named cells; -trace-dir attaches telemetry to every simulated cell and
 // writes a Chrome trace (Perfetto-loadable) plus a metrics summary per cell
-// into the directory. See docs/OBSERVABILITY.md.
+// into the directory; -attrib-dir writes a per-spawn-site attribution
+// report (JSON, for polystat) per cell. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -27,10 +29,11 @@ import (
 )
 
 var (
-	format = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
-	bench  = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
-	policy = flag.String("policy", "", "comma-separated policy filter (default: all)")
-	traces = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
+	format  = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
+	bench   = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
+	policy  = flag.String("policy", "", "comma-separated policy filter (default: all)")
+	traces  = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
+	attribs = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
 )
 
 func main() {
@@ -76,9 +79,10 @@ func main() {
 // options assembles the harness Options from the filter flags.
 func options() harness.Options {
 	return harness.Options{
-		Benches:  splitList(*bench),
-		Policies: splitList(*policy),
-		TraceDir: *traces,
+		Benches:   splitList(*bench),
+		Policies:  splitList(*policy),
+		TraceDir:  *traces,
+		AttribDir: *attribs,
 	}
 }
 

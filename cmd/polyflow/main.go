@@ -7,11 +7,14 @@
 //	polyflow -bench mcf -policy superscalar
 //	polyflow -bench gcc -policy rec_pred
 //	polyflow -bench twolf -policy postdoms -trace twolf.trace.json -metrics
+//	polyflow -bench gzip -policy postdoms -attrib gzip.attrib.json
 //	polyflow -list
 //
 // -trace writes the run's cycle timeline as Chrome trace-event JSON (open
 // it in Perfetto: ui.perfetto.dev); -metrics prints the full telemetry
-// summary after the run. See docs/OBSERVABILITY.md.
+// summary after the run; -attrib writes the per-spawn-site attribution
+// report as JSON (render or compare it with polystat). See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"repro"
+	"repro/internal/attrib"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
@@ -34,6 +38,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print spawn-point statistics")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics summary after the run")
+	attribFile := flag.String("attrib", "", "write the per-spawn-site attribution report as JSON to this file")
 	list := flag.Bool("list", false, "list workloads and policies")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -58,7 +63,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*benchName, *policyName, *tasks, *verbose, *traceFile, *metrics); err != nil {
+	if err := run(*benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile); err != nil {
 		fmt.Fprintln(os.Stderr, "polyflow:", err)
 		os.Exit(1)
 	}
@@ -78,7 +83,7 @@ func main() {
 	}
 }
 
-func run(benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool) error {
+func run(benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile string) error {
 	b, err := speculate.Load(benchName)
 	if err != nil {
 		return err
@@ -92,8 +97,9 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 		}
 	}
 
-	// One Collector observes one run, so it is attached to whichever run the
-	// -policy flag selects (for "superscalar", the baseline itself).
+	// One Collector (and one attribution table) observes one run, so both
+	// are attached to whichever run the -policy flag selects (for
+	// "superscalar", the baseline itself).
 	var col *telemetry.Collector
 	if traceFile != "" || metrics {
 		n := 0 // metrics only
@@ -102,16 +108,21 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 		}
 		col = telemetry.NewCollector(telemetry.Config{TraceEvents: n})
 	}
+	var tbl *attrib.Table
+	if attribFile != "" {
+		tbl = attrib.NewTable()
+	}
 
 	if policyName == "superscalar" {
 		cfg := machine.SuperscalarConfig()
 		cfg.Telemetry = col
+		cfg.Attribution = tbl
 		base, err := b.RunSuperscalarConfig(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(" ", base)
-		return finish(col, base, traceFile, metrics)
+		return finish(col, tbl, b.Name, policyName, base, traceFile, metrics, attribFile)
 	}
 
 	base, err := b.RunSuperscalar()
@@ -123,6 +134,7 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 	cfg := machine.PolyFlowConfig()
 	cfg.MaxTasks = tasks
 	cfg.Telemetry = col
+	cfg.Attribution = tbl
 	res, err := b.RunNamed(policyName, cfg)
 	if err != nil {
 		return err
@@ -141,15 +153,13 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 		fmt.Printf("  mispredicts=%d icacheMiss=%d dcacheMiss=%d l2Miss=%d icacheStall=%d\n",
 			res.Mispredicts, res.ICacheMisses, res.DCacheMisses, res.L2Misses, res.ICacheStallCycle)
 	}
-	return finish(col, res, traceFile, metrics)
+	return finish(col, tbl, b.Name, policyName, res, traceFile, metrics, attribFile)
 }
 
-// finish writes the trace file and/or prints the metrics summary.
-func finish(col *telemetry.Collector, res machine.Result, traceFile string, metrics bool) error {
-	if col == nil {
-		return nil
-	}
-	if traceFile != "" {
+// finish writes the trace and attribution files and/or prints the metrics
+// summary.
+func finish(col *telemetry.Collector, tbl *attrib.Table, bench, policy string, res machine.Result, traceFile string, metrics bool, attribFile string) error {
+	if col != nil && traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
 			return err
@@ -163,9 +173,21 @@ func finish(col *telemetry.Collector, res machine.Result, traceFile string, metr
 		}
 		fmt.Printf("  trace written to %s (load in ui.perfetto.dev)\n", traceFile)
 	}
-	if metrics {
+	if col != nil && metrics {
 		fmt.Println()
-		col.WriteSummary(os.Stdout)
+		if err := col.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tbl != nil {
+		if err := machine.VerifyAttribution(tbl, res); err != nil {
+			return err
+		}
+		rep := attrib.NewReport(tbl, bench, policy, res.Config, res.Cycles, res.Retired)
+		if err := rep.WriteFile(attribFile); err != nil {
+			return err
+		}
+		fmt.Printf("  attribution written to %s (render with: polystat report %s)\n", attribFile, attribFile)
 	}
 	return nil
 }

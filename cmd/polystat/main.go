@@ -1,0 +1,95 @@
+// Command polystat renders and compares spawn-site attribution reports
+// produced by polyflow -attrib and experiments -attrib-dir.
+//
+// Usage:
+//
+//	polystat report gzip.attrib.json
+//	polystat report -top 5 gzip.attrib.json
+//	polystat diff before.attrib.json after.attrib.json
+//	polystat diff -fail-on-diff golden.attrib.json new.attrib.json
+//
+// report prints one run's per-category rollup and its top sites by
+// credited cycles; diff ranks the sites of two runs by credited-cycle
+// movement and summarizes per-category drift. With -fail-on-diff, diff
+// exits 1 when the two reports differ in any counter (the CI regression
+// gate). See docs/OBSERVABILITY.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attrib"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = reportCmd(os.Args[2:])
+	case "diff":
+		err = diffCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "polystat: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polystat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  polystat report [-top N] run.attrib.json
+  polystat diff [-top N] [-fail-on-diff] a.attrib.json b.attrib.json`)
+}
+
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of sites to list, ranked by credited cycles")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report wants exactly one attribution JSON file, got %d args", fs.NArg())
+	}
+	rep, err := attrib.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return rep.WriteText(os.Stdout, *top)
+}
+
+func diffCmd(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	top := fs.Int("top", 10, "number of sites to list, ranked by credited-cycle movement")
+	failOnDiff := fs.Bool("fail-on-diff", false, "exit 1 when the reports differ in any counter")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two attribution JSON files, got %d args", fs.NArg())
+	}
+	a, err := attrib.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := attrib.ReadReportFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := attrib.DiffReports(a, b)
+	if err := d.WriteText(os.Stdout, *top); err != nil {
+		return err
+	}
+	if *failOnDiff && d.Changed() {
+		return fmt.Errorf("reports differ (%d sites changed)", len(d.Sites))
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+// Package attrib implements per-spawn-site attribution for the timing
+// simulator: every spawned task is keyed by its static spawn point (the
+// trigger PC plus its core.Kind category), and the machine accounts each
+// task's outcome — cycles credited or wasted, instructions retired
+// speculatively, squashes by cause, foreclosure charges — to that site's
+// record. The store is a flat open-addressed table (the profitTable idiom)
+// so the simulation hot loop stays allocation-free in steady state: one
+// Table may be reused across runs and only grows, never shrinks.
+//
+// The accounting is exact, not sampled. Summed over all sites, every
+// SiteStats field reconciles with the corresponding machine-wide
+// machine.Stats counter (machine.VerifyAttribution enforces this on the
+// differential grids and on generated programs).
+package attrib
+
+import "repro/internal/core"
+
+// Root is the pseudo-kind of the initial task, which exists before any
+// spawn and has no spawn point; it is keyed as (PC 0, Root).
+const Root = uint8(core.NumKinds)
+
+// numKinds is the number of distinct kind values a key may carry (the
+// core categories plus Root).
+const numKinds = int(core.NumKinds) + 1
+
+// KindName returns the category label for a SiteStats kind byte: the
+// paper's names for core kinds, "root" for the initial task.
+func KindName(kind uint8) string {
+	if kind == Root {
+		return "root"
+	}
+	return core.Kind(kind).String()
+}
+
+// KindByName is the inverse of KindName; ok is false for unknown labels.
+func KindByName(name string) (uint8, bool) {
+	if name == "root" {
+		return Root, true
+	}
+	for k := core.Kind(0); k < core.NumKinds; k++ {
+		if k.String() == name {
+			return uint8(k), true
+		}
+	}
+	return 0, false
+}
+
+// SiteStats is the attribution record of one spawn site. Counts are of
+// *tasks* except where named otherwise. Every task the machine creates
+// ends in exactly one of Retired, AliveAtEnd, SquashCollateral or
+// SquashReclaim; a task that suffers a memory-dependence violation
+// restarts in place (SquashViolation counts the event, not an end).
+type SiteStats struct {
+	Spawns           int64 `json:"spawns"`            // tasks created from this site (root: 1)
+	Rejected         int64 `json:"rejected"`          // spawn attempts refused (profit score or distance)
+	Retired          int64 `json:"retired"`           // tasks that retired their whole segment
+	AliveAtEnd       int64 `json:"alive_at_end"`      // tasks still live when the run ended
+	SquashViolation  int64 `json:"squash_violation"`  // memory-violation squashes of this site's tasks
+	SquashCollateral int64 `json:"squash_collateral"` // tasks squashed as descendants of a violator
+	SquashReclaim    int64 `json:"squash_reclaim"`    // tasks squashed by ROB reclamation
+	InstrsRetired    int64 `json:"instrs_retired"`    // trace entries retired inside this site's segments
+	SquashedInstrs   int64 `json:"squashed_instrs"`   // pipeline entries rolled back, charged to the owning task
+	CreditedCycles   int64 `json:"credited_cycles"`   // task-lifetime cycles of retired / still-live tasks
+	WastedCycles     int64 `json:"wasted_cycles"`     // task-lifetime cycles of squashed / reclaimed tasks
+	Foreclosures     int64 `json:"foreclosures"`      // times this site's task foreclosed a useful hop in an older task
+}
+
+// add accumulates o into s.
+func (s *SiteStats) add(o *SiteStats) {
+	s.Spawns += o.Spawns
+	s.Rejected += o.Rejected
+	s.Retired += o.Retired
+	s.AliveAtEnd += o.AliveAtEnd
+	s.SquashViolation += o.SquashViolation
+	s.SquashCollateral += o.SquashCollateral
+	s.SquashReclaim += o.SquashReclaim
+	s.InstrsRetired += o.InstrsRetired
+	s.SquashedInstrs += o.SquashedInstrs
+	s.CreditedCycles += o.CreditedCycles
+	s.WastedCycles += o.WastedCycles
+	s.Foreclosures += o.Foreclosures
+}
+
+// Table is the flat open-addressed site store. The key packs the spawn
+// trigger PC and the kind into one word (PC<<3 | kind+1), so key 0 marks
+// an empty slot even for the root site (PC 0, kind Root packs to a
+// non-zero key). Linear probing with a Fibonacci hash; grows at 3/4 load.
+//
+// Not safe for concurrent use: one Table observes one run at a time.
+// Site pointers are valid only until the next Site call (growth moves
+// the backing array).
+type Table struct {
+	keys []uint64
+	vals []SiteStats
+	used int
+
+	// UnattributedViolations counts violation squashes whose containing
+	// task had already left the machine by detection time — the machine
+	// still counts them in Stats.Violations but no site owns them.
+	UnattributedViolations int64
+	// UnattributedForeclosures counts foreclosure charges where the
+	// foreclosed task had no successor left to blame (it was already the
+	// tail again when the mispredict resolved).
+	UnattributedForeclosures int64
+}
+
+// NewTable returns an empty table ready for one run.
+func NewTable() *Table {
+	t := &Table{}
+	t.Reset()
+	return t
+}
+
+// key packs (pc, kind) into the non-zero table key.
+func key(pc uint64, kind uint8) uint64 {
+	return pc<<3 | uint64(kind+1)
+}
+
+// unkey splits a packed key back into (pc, kind).
+func unkey(k uint64) (uint64, uint8) {
+	return k >> 3, uint8(k&7) - 1
+}
+
+// Reset clears all sites and unattributed counts, retaining the backing
+// arrays so steady-state reuse allocates nothing.
+func (t *Table) Reset() {
+	if t.keys == nil {
+		t.keys = make([]uint64, 256)
+		t.vals = make([]SiteStats, 256)
+	} else {
+		clear(t.keys)
+		clear(t.vals)
+	}
+	t.used = 0
+	t.UnattributedViolations = 0
+	t.UnattributedForeclosures = 0
+}
+
+// Site returns the record for (pc, kind), inserting an empty one on first
+// touch. The pointer is invalidated by the next Site call; callers must
+// not retain it.
+func (t *Table) Site(pc uint64, kind uint8) *SiteStats {
+	if t.used*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	k := key(pc, kind)
+	mask := uint64(len(t.keys) - 1)
+	i := (k * 0x9E3779B97F4A7C15) >> 32 & mask
+	for t.keys[i] != 0 {
+		if t.keys[i] == k {
+			return &t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i] = k
+	t.used++
+	return &t.vals[i]
+}
+
+// Lookup returns the record for (pc, kind) without inserting, or nil.
+func (t *Table) Lookup(pc uint64, kind uint8) *SiteStats {
+	if t.keys == nil {
+		return nil
+	}
+	k := key(pc, kind)
+	mask := uint64(len(t.keys) - 1)
+	i := (k * 0x9E3779B97F4A7C15) >> 32 & mask
+	for t.keys[i] != 0 {
+		if t.keys[i] == k {
+			return &t.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+	return nil
+}
+
+func (t *Table) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.vals = make([]SiteStats, 2*len(oldVals))
+	mask := uint64(len(t.keys) - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := (k * 0x9E3779B97F4A7C15) >> 32 & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = k
+		t.vals[i] = oldVals[j]
+	}
+}
+
+// NumSites returns the number of distinct sites touched.
+func (t *Table) NumSites() int { return t.used }
+
+// ForEach calls fn for every touched site, in unspecified order. The
+// *SiteStats pointer is valid only during the call.
+func (t *Table) ForEach(fn func(pc uint64, kind uint8, st *SiteStats)) {
+	for i, k := range t.keys {
+		if k != 0 {
+			pc, kind := unkey(k)
+			fn(pc, kind, &t.vals[i])
+		}
+	}
+}
+
+// Totals sums every site's record.
+func (t *Table) Totals() SiteStats {
+	var sum SiteStats
+	t.ForEach(func(_ uint64, _ uint8, st *SiteStats) { sum.add(st) })
+	return sum
+}
+
+// KindTotals sums site records per category, indexed by kind byte
+// (core kinds then Root).
+func (t *Table) KindTotals() [numKinds]SiteStats {
+	var out [numKinds]SiteStats
+	t.ForEach(func(_ uint64, kind uint8, st *SiteStats) {
+		if int(kind) < numKinds {
+			out[kind].add(st)
+		}
+	})
+	return out
+}

@@ -1,0 +1,231 @@
+package attrib
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := uint8(0); int(k) < numKinds; k++ {
+		name := KindName(k)
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %d,%v, want %d", name, got, ok, k)
+		}
+	}
+	if KindName(Root) != "root" {
+		t.Errorf("Root name = %q", KindName(Root))
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Errorf("KindByName accepted a bogus label")
+	}
+}
+
+func TestTableSiteAndLookup(t *testing.T) {
+	tbl := NewTable()
+	// The root site (PC 0, Root) must not collide with (PC 0, kind 0).
+	tbl.Site(0, Root).Spawns = 1
+	tbl.Site(0, 0).Spawns = 7
+	if got := tbl.Lookup(0, Root).Spawns; got != 1 {
+		t.Fatalf("root site = %d, want 1", got)
+	}
+	if got := tbl.Lookup(0, 0).Spawns; got != 7 {
+		t.Fatalf("(0,loop) site = %d, want 7", got)
+	}
+	if tbl.Lookup(4, 0) != nil {
+		t.Fatalf("Lookup invented a site")
+	}
+	if tbl.NumSites() != 2 {
+		t.Fatalf("NumSites = %d, want 2", tbl.NumSites())
+	}
+}
+
+// TestTableGrow inserts enough sites to force several growths and checks
+// nothing is lost or double-counted.
+func TestTableGrow(t *testing.T) {
+	tbl := NewTable()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		pc := uint64(0x400000 + 4*i)
+		kind := uint8(i % numKinds)
+		st := tbl.Site(pc, kind)
+		st.Spawns = int64(i)
+		st.CreditedCycles = int64(2 * i)
+	}
+	if tbl.NumSites() != n {
+		t.Fatalf("NumSites = %d, want %d", tbl.NumSites(), n)
+	}
+	var wantSpawns, wantCycles int64
+	for i := 0; i < n; i++ {
+		wantSpawns += int64(i)
+		wantCycles += int64(2 * i)
+		pc := uint64(0x400000 + 4*i)
+		st := tbl.Lookup(pc, uint8(i%numKinds))
+		if st == nil || st.Spawns != int64(i) {
+			t.Fatalf("site %d lost after growth", i)
+		}
+	}
+	sum := tbl.Totals()
+	if sum.Spawns != wantSpawns || sum.CreditedCycles != wantCycles {
+		t.Fatalf("totals = %d/%d, want %d/%d", sum.Spawns, sum.CreditedCycles, wantSpawns, wantCycles)
+	}
+	seen := 0
+	tbl.ForEach(func(_ uint64, _ uint8, _ *SiteStats) { seen++ })
+	if seen != n {
+		t.Fatalf("ForEach visited %d sites, want %d", seen, n)
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	tbl := NewTable()
+	tbl.Site(100, 2).Spawns = 5
+	tbl.UnattributedViolations = 3
+	tbl.UnattributedForeclosures = 4
+	tbl.Reset()
+	if tbl.NumSites() != 0 || tbl.UnattributedViolations != 0 || tbl.UnattributedForeclosures != 0 {
+		t.Fatalf("Reset left state behind: %+v", tbl)
+	}
+	if tbl.Lookup(100, 2) != nil {
+		t.Fatalf("Reset kept a site")
+	}
+	// Steady-state reuse must not allocate.
+	allocs := testing.AllocsPerRun(10, func() {
+		tbl.Reset()
+		tbl.Site(100, 2).Spawns++
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Site allocates %v objects per cycle", allocs)
+	}
+}
+
+func buildTestTable() *Table {
+	tbl := NewTable()
+	*tbl.Site(0, Root) = SiteStats{Spawns: 1, AliveAtEnd: 1, InstrsRetired: 900, CreditedCycles: 5000}
+	*tbl.Site(0x400100, uint8(core.KindLoop)) = SiteStats{
+		Spawns: 10, Rejected: 2, Retired: 8, SquashCollateral: 1, SquashReclaim: 1,
+		InstrsRetired: 800, SquashedInstrs: 40, CreditedCycles: 2000, WastedCycles: 300,
+	}
+	*tbl.Site(0x400200, uint8(core.KindHammock)) = SiteStats{
+		Spawns: 4, Retired: 3, AliveAtEnd: 1, SquashViolation: 2,
+		InstrsRetired: 120, SquashedInstrs: 33, CreditedCycles: 600, Foreclosures: 1,
+	}
+	tbl.UnattributedViolations = 1
+	return tbl
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(buildTestTable(), "gzip", "postdoms", "polyflow", 12345, 1820)
+	if len(rep.Sites) != 3 {
+		t.Fatalf("report has %d sites, want 3", len(rep.Sites))
+	}
+	// Sites sort by (PC, kind): root (PC 0) first.
+	if rep.Sites[0].Kind != "root" || rep.Sites[1].PC != "0x400100" || rep.Sites[2].PC != "0x400200" {
+		t.Fatalf("sites out of order: %+v", rep.Sites)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("roundtrip changed report:\nout: %+v\nback: %+v", rep, back)
+	}
+	if _, err := ReadReport(strings.NewReader(`{"schema":"bogus/9"}`)); err == nil {
+		t.Fatalf("ReadReport accepted a wrong schema")
+	}
+}
+
+func TestReportRollupsAndText(t *testing.T) {
+	rep := NewReport(buildTestTable(), "gzip", "postdoms", "polyflow", 12345, 1820)
+	rollups := rep.Rollups()
+	byKind := map[string]Rollup{}
+	for _, ru := range rollups {
+		byKind[ru.Kind] = ru
+	}
+	if ru := byKind["loop"]; ru.Sites != 1 || ru.Spawns != 10 {
+		t.Fatalf("loop rollup = %+v", ru)
+	}
+	if ru := byKind["hammock"]; ru.SquashViolation != 2 || ru.Foreclosures != 1 {
+		t.Fatalf("hammock rollup = %+v", ru)
+	}
+	// Fixed kind order: loop before hammock before root.
+	order := []string{}
+	for _, ru := range rollups {
+		order = append(order, ru.Kind)
+	}
+	if !reflect.DeepEqual(order, []string{"loop", "hammock", "root"}) {
+		t.Fatalf("rollup order = %v", order)
+	}
+	var buf strings.Builder
+	if err := rep.WriteText(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"gzip/postdoms/polyflow", "per-category rollup", "unattributed: 1 violations",
+		"top 2 sites", "0x400100", "loop", "spawn share:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+	// topN=2 must drop the lowest-credited site (hammock's 600).
+	if strings.Contains(strings.SplitN(out, "top 2 sites", 2)[1], "0x400200") {
+		t.Fatalf("topN did not truncate:\n%s", out)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := NewReport(buildTestTable(), "gzip", "postdoms", "", 12345, 1820)
+	same := NewReport(buildTestTable(), "gzip", "postdoms", "", 12345, 1820)
+	if d := DiffReports(a, same); d.Changed() {
+		t.Fatalf("identical reports diff as changed: %+v", d.Sites)
+	}
+
+	tbl := buildTestTable()
+	tbl.Site(0x400100, uint8(core.KindLoop)).CreditedCycles += 500 // biggest movement
+	tbl.Site(0x400200, uint8(core.KindHammock)).Retired++
+	tbl.Site(0x400300, uint8(core.KindProcFT)).Spawns = 1 // appears only in b
+	b := NewReport(tbl, "gzip", "postdoms", "", 13000, 1830)
+
+	d := DiffReports(a, b)
+	if !d.Changed() {
+		t.Fatalf("diff missed the changes")
+	}
+	if len(d.Sites) != 3 {
+		t.Fatalf("diff found %d sites, want 3: %+v", len(d.Sites), d.Sites)
+	}
+	if d.Sites[0].PC != "0x400100" {
+		t.Fatalf("diff not ranked by credited-cycle movement: %+v", d.Sites)
+	}
+	var newSite *SiteDelta
+	for i := range d.Sites {
+		if d.Sites[i].PC == "0x400300" {
+			newSite = &d.Sites[i]
+		}
+	}
+	if newSite == nil || newSite.InA || !newSite.InB {
+		t.Fatalf("appearing site not flagged: %+v", newSite)
+	}
+
+	var buf strings.Builder
+	if err := d.WriteText(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"attribution diff", "per-category movement", "+new",
+		"2000->2500", "3 sites changed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff text missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package attrib
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Diff is the per-site and per-category comparison of two attribution
+// reports (conventionally "old" vs "new"), the output of polystat diff.
+type Diff struct {
+	A, B *Report
+
+	// Categories holds one entry per kind present in either report, in
+	// fixed kind order.
+	Categories []CategoryDelta
+	// Sites holds every site whose record changed, appeared, or
+	// vanished, sorted by descending |credited-cycles delta| (ties by
+	// PC then kind, so output is deterministic).
+	Sites []SiteDelta
+}
+
+// CategoryDelta is one kind's rollup in both runs.
+type CategoryDelta struct {
+	Kind string
+	A, B Rollup
+}
+
+// SiteDelta is one changed site. Present flags distinguish a changed
+// record from a site that exists in only one run.
+type SiteDelta struct {
+	PC       string
+	Kind     string
+	InA, InB bool
+	A, B     SiteStats
+}
+
+// delta returns the credited-cycles movement the diff ranks by.
+func (d *SiteDelta) delta() int64 {
+	v := d.B.CreditedCycles - d.A.CreditedCycles
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Changed reports whether the two reports differ in any site record,
+// unattributed count, or headline cycle/retire total.
+func (d *Diff) Changed() bool {
+	return len(d.Sites) > 0 ||
+		d.A.Cycles != d.B.Cycles || d.A.Retired != d.B.Retired ||
+		d.A.UnattributedViolations != d.B.UnattributedViolations ||
+		d.A.UnattributedForeclosures != d.B.UnattributedForeclosures
+}
+
+// DiffReports compares two reports site by site.
+func DiffReports(a, b *Report) *Diff {
+	d := &Diff{A: a, B: b}
+
+	type siteKey struct {
+		pc   string
+		kind string
+	}
+	am := map[siteKey]*Site{}
+	for i := range a.Sites {
+		s := &a.Sites[i]
+		am[siteKey{s.PC, s.Kind}] = s
+	}
+	bm := map[siteKey]*Site{}
+	for i := range b.Sites {
+		s := &b.Sites[i]
+		bm[siteKey{s.PC, s.Kind}] = s
+	}
+	for i := range a.Sites {
+		s := &a.Sites[i]
+		k := siteKey{s.PC, s.Kind}
+		if o, ok := bm[k]; ok {
+			if s.SiteStats != o.SiteStats {
+				d.Sites = append(d.Sites, SiteDelta{
+					PC: s.PC, Kind: s.Kind, InA: true, InB: true,
+					A: s.SiteStats, B: o.SiteStats,
+				})
+			}
+		} else {
+			d.Sites = append(d.Sites, SiteDelta{
+				PC: s.PC, Kind: s.Kind, InA: true, A: s.SiteStats,
+			})
+		}
+	}
+	for i := range b.Sites {
+		s := &b.Sites[i]
+		if _, ok := am[siteKey{s.PC, s.Kind}]; !ok {
+			d.Sites = append(d.Sites, SiteDelta{
+				PC: s.PC, Kind: s.Kind, InB: true, B: s.SiteStats,
+			})
+		}
+	}
+	sort.SliceStable(d.Sites, func(i, j int) bool {
+		di, dj := d.Sites[i].delta(), d.Sites[j].delta()
+		if di != dj {
+			return di > dj
+		}
+		si, sj := &d.Sites[i], &d.Sites[j]
+		if si.PC != sj.PC {
+			return si.PC < sj.PC
+		}
+		return si.Kind < sj.Kind
+	})
+
+	ra := map[string]Rollup{}
+	for _, ru := range a.Rollups() {
+		ra[ru.Kind] = ru
+	}
+	rb := map[string]Rollup{}
+	for _, ru := range b.Rollups() {
+		rb[ru.Kind] = ru
+	}
+	for k := uint8(0); int(k) < numKinds; k++ {
+		name := KindName(k)
+		va, inA := ra[name]
+		vb, inB := rb[name]
+		if !inA && !inB {
+			continue
+		}
+		d.Categories = append(d.Categories, CategoryDelta{Kind: name, A: va, B: vb})
+	}
+	return d
+}
+
+// WriteText renders the diff: headline totals, per-category movement,
+// and the topN most-moved sites (all changed sites if topN <= 0).
+func (d *Diff) WriteText(w io.Writer, topN int) error {
+	tw := &errWriter{w: w}
+	tw.printf("attribution diff: %s -> %s\n", d.A.label(), d.B.label())
+	tw.printf("cycles  %12d -> %-12d (%+d)\n", d.A.Cycles, d.B.Cycles, d.B.Cycles-d.A.Cycles)
+	tw.printf("retired %12d -> %-12d (%+d)\n", d.A.Retired, d.B.Retired, d.B.Retired-d.A.Retired)
+	if !d.Changed() {
+		tw.printf("no attribution changes\n")
+		return tw.err
+	}
+
+	tw.printf("\nper-category movement:\n")
+	tw.printf("%-8s %16s %16s %16s %16s\n",
+		"kind", "spawns", "retired", "squashes", "cred-cycles")
+	cell := func(a, b int64) string {
+		return sprintfDelta(a, b)
+	}
+	for _, c := range d.Categories {
+		sqA := c.A.SquashViolation + c.A.SquashCollateral + c.A.SquashReclaim
+		sqB := c.B.SquashViolation + c.B.SquashCollateral + c.B.SquashReclaim
+		tw.printf("%-8s %16s %16s %16s %16s\n", c.Kind,
+			cell(c.A.Spawns, c.B.Spawns),
+			cell(c.A.Retired, c.B.Retired),
+			cell(sqA, sqB),
+			cell(c.A.CreditedCycles, c.B.CreditedCycles))
+	}
+
+	sites := d.Sites
+	if topN > 0 && topN < len(sites) {
+		sites = sites[:topN]
+	}
+	tw.printf("\n%d sites changed; top %d by credited-cycle movement:\n",
+		len(d.Sites), len(sites))
+	tw.printf("%-14s %-8s %-4s %16s %16s %16s %16s\n",
+		"pc", "kind", "", "spawns", "retired", "cred-cycles", "waste-cycles")
+	for _, s := range sites {
+		mark := ""
+		switch {
+		case !s.InA:
+			mark = "+new"
+		case !s.InB:
+			mark = "-gone"
+		}
+		tw.printf("%-14s %-8s %-4s %16s %16s %16s %16s\n", s.PC, s.Kind, mark,
+			cell(s.A.Spawns, s.B.Spawns),
+			cell(s.A.Retired, s.B.Retired),
+			cell(s.A.CreditedCycles, s.B.CreditedCycles),
+			cell(s.A.WastedCycles, s.B.WastedCycles))
+	}
+	return tw.err
+}
+
+// sprintfDelta renders "a->b" or a bare value when unchanged.
+func sprintfDelta(a, b int64) string {
+	if a == b {
+		return strconv.FormatInt(a, 10)
+	}
+	return strconv.FormatInt(a, 10) + "->" + strconv.FormatInt(b, 10)
+}

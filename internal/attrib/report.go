@@ -1,0 +1,268 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the attribution report JSON layout. Bump on any
+// incompatible change; polystat refuses to diff mismatched schemas.
+const Schema = "polyflow-attrib/1"
+
+// Report is the serializable snapshot of one run's attribution table,
+// with enough run identity (bench, policy, config) to label diffs.
+// Sites are sorted by (PC, kind) so two reports of the same workload
+// diff cleanly line by line.
+type Report struct {
+	Schema  string `json:"schema"`
+	Bench   string `json:"bench,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	Config  string `json:"config,omitempty"`
+	Cycles  int64  `json:"cycles"`
+	Retired int64  `json:"retired"`
+
+	UnattributedViolations   int64 `json:"unattributed_violations,omitempty"`
+	UnattributedForeclosures int64 `json:"unattributed_foreclosures,omitempty"`
+
+	Sites []Site `json:"sites"`
+}
+
+// Site is one spawn site in a report: the packed table record plus its
+// identity rendered stably (hex PC, category name).
+type Site struct {
+	PC   string `json:"pc"`
+	Kind string `json:"kind"`
+	SiteStats
+}
+
+// PCValue parses the site's hex PC.
+func (s *Site) PCValue() uint64 {
+	v, _ := strconv.ParseUint(strings.TrimPrefix(s.PC, "0x"), 16, 64)
+	return v
+}
+
+// NewReport snapshots a table into a sorted, serializable report.
+// cycles/retired label the run the table observed.
+func NewReport(t *Table, bench, policy, config string, cycles, retired int64) *Report {
+	r := &Report{
+		Schema:  Schema,
+		Bench:   bench,
+		Policy:  policy,
+		Config:  config,
+		Cycles:  cycles,
+		Retired: retired,
+
+		UnattributedViolations:   t.UnattributedViolations,
+		UnattributedForeclosures: t.UnattributedForeclosures,
+		Sites:                    make([]Site, 0, t.NumSites()),
+	}
+	type rawSite struct {
+		pc   uint64
+		kind uint8
+		st   SiteStats
+	}
+	raw := make([]rawSite, 0, t.NumSites())
+	t.ForEach(func(pc uint64, kind uint8, st *SiteStats) {
+		raw = append(raw, rawSite{pc, kind, *st})
+	})
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].pc != raw[j].pc {
+			return raw[i].pc < raw[j].pc
+		}
+		return raw[i].kind < raw[j].kind
+	})
+	for _, s := range raw {
+		r.Sites = append(r.Sites, Site{
+			PC:        fmt.Sprintf("0x%x", s.pc),
+			Kind:      KindName(s.kind),
+			SiteStats: s.st,
+		})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report as JSON to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report from r and checks its schema.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("attrib: parsing report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("attrib: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile parses the report at path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// label renders the report's run identity.
+func (r *Report) label() string {
+	parts := []string{}
+	for _, p := range []string{r.Bench, r.Policy, r.Config} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return "(unlabeled run)"
+	}
+	return strings.Join(parts, "/")
+}
+
+// Rollup aggregates the report's sites per category, in the fixed kind
+// order (the paper's categories, then root), skipping untouched kinds.
+type Rollup struct {
+	Kind  string
+	Sites int
+	SiteStats
+}
+
+// Rollups computes the per-category aggregation — the dynamic
+// counterpart of Figure 5's static spawn-point distribution.
+func (r *Report) Rollups() []Rollup {
+	byKind := map[string]*Rollup{}
+	order := []string{}
+	for k := uint8(0); int(k) < numKinds; k++ {
+		order = append(order, KindName(k))
+	}
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		ru, ok := byKind[s.Kind]
+		if !ok {
+			ru = &Rollup{Kind: s.Kind}
+			byKind[s.Kind] = ru
+		}
+		ru.Sites++
+		ru.add(&s.SiteStats)
+	}
+	out := []Rollup{}
+	for _, k := range order {
+		if ru, ok := byKind[k]; ok {
+			out = append(out, *ru)
+		}
+	}
+	return out
+}
+
+// Totals sums every site in the report.
+func (r *Report) Totals() SiteStats {
+	var sum SiteStats
+	for i := range r.Sites {
+		sum.add(&r.Sites[i].SiteStats)
+	}
+	return sum
+}
+
+// WriteText renders the report for humans: the run header, per-category
+// rollups, and the topN sites by credited cycles (all sites if topN <= 0
+// or fewer exist).
+func (r *Report) WriteText(w io.Writer, topN int) error {
+	tw := &errWriter{w: w}
+	tw.printf("attribution: %s — %d cycles, %d retired, %d sites\n",
+		r.label(), r.Cycles, r.Retired, len(r.Sites))
+	if r.UnattributedViolations > 0 || r.UnattributedForeclosures > 0 {
+		tw.printf("unattributed: %d violations, %d foreclosures\n",
+			r.UnattributedViolations, r.UnattributedForeclosures)
+	}
+
+	tw.printf("\nper-category rollup (dynamic Figure-5 distribution):\n")
+	tw.printf("%-8s %6s %8s %8s %8s %8s %8s %12s %12s %12s\n",
+		"kind", "sites", "spawns", "retired", "sq.viol", "sq.coll", "reclaim",
+		"instrs-ret", "cred-cycles", "waste-cycles")
+	var spawnsNonRoot int64
+	rollups := r.Rollups()
+	for _, ru := range rollups {
+		if ru.Kind != "root" {
+			spawnsNonRoot += ru.Spawns
+		}
+	}
+	for _, ru := range rollups {
+		tw.printf("%-8s %6d %8d %8d %8d %8d %8d %12d %12d %12d\n",
+			ru.Kind, ru.Sites, ru.Spawns, ru.Retired, ru.SquashViolation,
+			ru.SquashCollateral, ru.SquashReclaim, ru.InstrsRetired,
+			ru.CreditedCycles, ru.WastedCycles)
+	}
+	if spawnsNonRoot > 0 {
+		tw.printf("spawn share:")
+		for _, ru := range rollups {
+			if ru.Kind == "root" || ru.Spawns == 0 {
+				continue
+			}
+			tw.printf(" %s %.1f%%", ru.Kind, 100*float64(ru.Spawns)/float64(spawnsNonRoot))
+		}
+		tw.printf("\n")
+	}
+
+	sites := make([]*Site, 0, len(r.Sites))
+	for i := range r.Sites {
+		sites = append(sites, &r.Sites[i])
+	}
+	sort.SliceStable(sites, func(i, j int) bool {
+		return sites[i].CreditedCycles > sites[j].CreditedCycles
+	})
+	if topN > 0 && topN < len(sites) {
+		sites = sites[:topN]
+	}
+	tw.printf("\ntop %d sites by credited cycles:\n", len(sites))
+	tw.printf("%-14s %-8s %8s %8s %8s %8s %12s %12s %12s %10s\n",
+		"pc", "kind", "spawns", "retired", "squash", "forecl",
+		"instrs-ret", "cred-cycles", "waste-cycles", "sq-instrs")
+	for _, s := range sites {
+		tw.printf("%-14s %-8s %8d %8d %8d %8d %12d %12d %12d %10d\n",
+			s.PC, s.Kind, s.Spawns, s.Retired,
+			s.SquashViolation+s.SquashCollateral+s.SquashReclaim,
+			s.Foreclosures, s.InstrsRetired, s.CreditedCycles, s.WastedCycles,
+			s.SquashedInstrs)
+	}
+	return tw.err
+}
+
+// errWriter folds the per-line error checks of a multi-print render.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

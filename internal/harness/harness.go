@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro"
+	"repro/internal/attrib"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
@@ -36,6 +37,11 @@ type Options struct {
 	// <bench>_<policy>.metrics.txt into the directory, creating it if
 	// needed.
 	TraceDir string
+	// AttribDir, when non-empty, attaches a per-spawn-site attribution
+	// table to every simulated cell, verifies its totals against the
+	// machine counters, and writes <bench>_<policy>.attrib.json into the
+	// directory (the polystat report/diff input), creating it if needed.
+	AttribDir string
 }
 
 func matches(filter []string, name string) bool {
@@ -61,35 +67,60 @@ func (o Options) collector() *telemetry.Collector {
 	return telemetry.NewCollector(telemetry.Config{TraceEvents: telemetry.DefaultTraceEvents})
 }
 
-// exportCell writes one cell's trace and metrics files under o.TraceDir.
-func (o Options) exportCell(bench, policy string, col *telemetry.Collector, res machine.Result) error {
-	if col == nil {
+// attribTable returns a fresh per-cell attribution table, or nil when
+// attribution is off.
+func (o Options) attribTable() *attrib.Table {
+	if o.AttribDir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
-		return err
+	return attrib.NewTable()
+}
+
+// exportCell writes one cell's trace and metrics files under o.TraceDir
+// and its attribution report under o.AttribDir.
+func (o Options) exportCell(bench, policy string, col *telemetry.Collector, tbl *attrib.Table, res machine.Result) error {
+	if col != nil {
+		if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+			return err
+		}
+		stem := filepath.Join(o.TraceDir, fileToken(bench)+"_"+fileToken(policy))
+		tf, err := os.Create(stem + ".trace.json")
+		if err != nil {
+			return err
+		}
+		werr := col.WriteChromeTrace(tf, res.Config)
+		if cerr := tf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		mf, err := os.Create(stem + ".metrics.txt")
+		if err != nil {
+			return err
+		}
+		werr = col.WriteSummary(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
 	}
-	stem := filepath.Join(o.TraceDir, fileToken(bench)+"_"+fileToken(policy))
-	tf, err := os.Create(stem + ".trace.json")
-	if err != nil {
-		return err
+	if tbl != nil {
+		if err := machine.VerifyAttribution(tbl, res); err != nil {
+			return err
+		}
+		if err := os.MkdirAll(o.AttribDir, 0o755); err != nil {
+			return err
+		}
+		rep := attrib.NewReport(tbl, bench, policy, res.Config, res.Cycles, res.Retired)
+		stem := filepath.Join(o.AttribDir, fileToken(bench)+"_"+fileToken(policy))
+		if err := rep.WriteFile(stem + ".attrib.json"); err != nil {
+			return err
+		}
 	}
-	werr := col.WriteChromeTrace(tf, res.Config)
-	if cerr := tf.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return werr
-	}
-	mf, err := os.Create(stem + ".metrics.txt")
-	if err != nil {
-		return err
-	}
-	werr = col.WriteSummary(mf)
-	if cerr := mf.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
+	return nil
 }
 
 // fileToken makes a bench/policy name safe as a filename component
@@ -320,6 +351,8 @@ func speedupTable(title string, policies []core.Policy,
 		cfg := machine.PolyFlowConfig()
 		col := o.collector()
 		cfg.Telemetry = col
+		tbl := o.attribTable()
+		cfg.Attribution = tbl
 		var res machine.Result
 		var err error
 		if c < len(policies) {
@@ -330,7 +363,7 @@ func speedupTable(title string, policies []core.Policy,
 		if err != nil {
 			return res, err
 		}
-		return res, o.exportCell(b.Name, colNames[c], col, res)
+		return res, o.exportCell(b.Name, colNames[c], col, tbl, res)
 	})
 	if err != nil {
 		return nil, err
@@ -465,11 +498,13 @@ func Figure11Opts(o Options) (*LossTable, error) {
 		cfg := machine.PolyFlowConfig()
 		col := o.collector()
 		cfg.Telemetry = col
+		tbl := o.attribTable()
+		cfg.Attribution = tbl
 		res, err := b.RunPolicy(policies[c], cfg)
 		if err != nil {
 			return res, err
 		}
-		return res, o.exportCell(b.Name, colNames[c], col, res)
+		return res, o.exportCell(b.Name, colNames[c], col, tbl, res)
 	})
 	if err != nil {
 		return nil, err

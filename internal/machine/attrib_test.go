@@ -1,0 +1,223 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/attrib"
+	"repro/internal/core"
+)
+
+// TestAttributionReconciles: on violation-heavy and divert-heavy workloads
+// under every stress configuration, the per-site sums must reconcile
+// exactly with the machine-wide counters — for both scheduler
+// implementations, which must additionally produce identical reports.
+func TestAttributionReconciles(t *testing.T) {
+	programs := map[string]string{
+		"hammock": hardHammockLoop,
+		"memViol": interTaskMemProgram,
+	}
+	for pname, src := range programs {
+		_, tr, a := prep(t, src)
+		for cname, cfg := range diffConfigs() {
+			t.Run(pname+"/"+cname, func(t *testing.T) {
+				cfg.WarmupInstrs = 0
+				cfg.Attribution = attrib.NewTable()
+				event, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifyAttribution(cfg.Attribution, event); err != nil {
+					t.Errorf("event scheduler: %v", err)
+				}
+				evRep := attrib.NewReport(cfg.Attribution, pname, "postdoms", cname, event.Cycles, event.Retired)
+
+				cfg.PolledScheduler = true
+				cfg.Attribution = attrib.NewTable()
+				polled, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := VerifyAttribution(cfg.Attribution, polled); err != nil {
+					t.Errorf("polled scheduler: %v", err)
+				}
+				poRep := attrib.NewReport(cfg.Attribution, pname, "postdoms", cname, polled.Cycles, polled.Retired)
+				if !reflect.DeepEqual(evRep, poRep) {
+					t.Errorf("schedulers attribute differently:\nevent:  %+v\npolled: %+v", evRep, poRep)
+				}
+				// The tiny hint cache legitimately suppresses all spawns;
+				// the baseline config must exercise real multi-task runs.
+				if cname == "polyflow" && event.SpawnsTaken == 0 {
+					t.Fatalf("workload spawned no tasks; attribution coverage is vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestAttributionOffIsIdentical: attaching a table must not change timing
+// or any observable counter.
+func TestAttributionOffIsIdentical(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	run := func(tbl *attrib.Table) Result {
+		cfg := PolyFlowConfig()
+		cfg.Attribution = tbl
+		res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	with := run(attrib.NewTable())
+	without := run(nil)
+	if with.Cycles != without.Cycles || with.Stats != without.Stats {
+		t.Fatalf("attribution changed simulation results:\nwith:    %+v\nwithout: %+v",
+			with.Stats, without.Stats)
+	}
+}
+
+// TestAttributionRootOnly: the superscalar baseline never spawns, so the
+// whole run lands on the root pseudo-site.
+func TestAttributionRootOnly(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	cfg := SuperscalarConfig()
+	cfg.Attribution = attrib.NewTable()
+	res, err := Run(tr, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAttribution(cfg.Attribution, res); err != nil {
+		t.Fatal(err)
+	}
+	if n := cfg.Attribution.NumSites(); n != 1 {
+		t.Fatalf("superscalar touched %d sites, want 1 (root)", n)
+	}
+	root := cfg.Attribution.Lookup(0, attrib.Root)
+	if root == nil {
+		t.Fatal("root site missing")
+	}
+	if root.InstrsRetired != res.Retired {
+		t.Errorf("root instrs retired = %d, want %d", root.InstrsRetired, res.Retired)
+	}
+	if root.CreditedCycles != res.TaskCycles {
+		t.Errorf("root credited cycles = %d, want %d", root.CreditedCycles, res.TaskCycles)
+	}
+	if root.AliveAtEnd != 1 || root.Spawns != 1 {
+		t.Errorf("root spawns/alive = %d/%d, want 1/1", root.Spawns, root.AliveAtEnd)
+	}
+}
+
+// TestAttributionMaxCyclesPath: the end-of-run flush also runs on the
+// MaxCycles error path, so even an aborted run's table reconciles.
+func TestAttributionMaxCyclesPath(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	cfg := PolyFlowConfig()
+	cfg.MaxCycles = 500
+	cfg.Attribution = attrib.NewTable()
+	res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err == nil {
+		t.Fatalf("run finished in under MaxCycles=%d; pick a smaller cap", cfg.MaxCycles)
+	}
+	if err := VerifyAttribution(cfg.Attribution, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttributionWarmup: attribution only observes the timed region, so
+// the reconciliation holds with a warmup prefix too.
+func TestAttributionWarmup(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	cfg := PolyFlowConfig()
+	cfg.WarmupInstrs = tr.Len() / 3
+	cfg.Attribution = attrib.NewTable()
+	res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAttribution(cfg.Attribution, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttributionTableReuse: a table reused across runs is Reset by Run
+// and must reconcile each time without accumulating stale state.
+func TestAttributionTableReuse(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	tbl := attrib.NewTable()
+	var first Result
+	for i := 0; i < 3; i++ {
+		cfg := PolyFlowConfig()
+		cfg.Attribution = tbl
+		res, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAttribution(tbl, res); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			first = res
+		} else if res.Stats != first.Stats {
+			t.Fatalf("run %d diverged from run 0 with a reused table", i)
+		}
+	}
+}
+
+// TestAttributionSteadyStateAllocs: a reused table must add no
+// allocations to the steady-state hot loop (the flat open-addressed
+// store only grows on first contact with new sites), so the with-table
+// run may only carry a small fixed residue over the plain run.
+func TestAttributionSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	_, tr, _ := prep(t, hardHammockLoop)
+	tbl := attrib.NewTable()
+	run := func(withTable bool) func() {
+		return func() {
+			cfg := SuperscalarConfig()
+			if withTable {
+				cfg.Attribution = tbl
+			}
+			if _, err := Run(tr, nil, nil, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run(true)() // warm the arena pool and the table
+	withAttrib := minAllocsPerRun(run(true))
+	without := minAllocsPerRun(run(false))
+	// Per-event attribution allocation would show up as a per-task or
+	// per-retire delta in the thousands; only comparing against the plain
+	// run keeps runtime baselines (race detector, pool state) out of it.
+	if withAttrib > without+100 {
+		t.Fatalf("attribution adds %v allocations per run in steady state (with %v, without %v)",
+			withAttrib-without, withAttrib, without)
+	}
+}
+
+// BenchmarkAttributionOverhead compares the hot loop without ("off") and
+// with ("on") a reused attribution table; "on" is the cost every
+// attributed grid run pays.
+func BenchmarkAttributionOverhead(b *testing.B) {
+	tr, a := prepAny(b, hardHammockLoop)
+	cases := []struct {
+		name string
+		tbl  *attrib.Table
+	}{
+		{"off", nil},
+		{"on", attrib.NewTable()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(tr.Len()))
+			for i := 0; i < b.N; i++ {
+				cfg := PolyFlowConfig()
+				cfg.Attribution = c.tbl
+				if _, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

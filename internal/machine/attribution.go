@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/attrib"
+	"repro/internal/core"
+)
+
+// VerifyAttribution checks that an attribution table's per-site sums
+// reconcile exactly with the machine-wide counters of the run it
+// observed. The accounting is designed to be lossless, so every
+// mismatch is a bug; the differential grids and the progen sweeps call
+// this for every run they attribute.
+func VerifyAttribution(t *attrib.Table, r Result) error {
+	sum := t.Totals()
+	check := func(what string, got, want int64) error {
+		if got != want {
+			return fmt.Errorf("attribution mismatch: %s: sites sum to %d, machine counted %d", what, got, want)
+		}
+		return nil
+	}
+	// Every spawn the machine took appears at its site, plus the root
+	// pseudo-spawn of the initial task.
+	if err := check("spawns", sum.Spawns, r.SpawnsTaken+1); err != nil {
+		return err
+	}
+	if err := check("rejected", sum.Rejected, r.SpawnsRejected); err != nil {
+		return err
+	}
+	// Every task ends exactly once: head retirement, collateral squash,
+	// ROB reclamation, or still alive when the run ended. (A violating
+	// task restarts in place rather than ending.)
+	ended := sum.Retired + sum.AliveAtEnd + sum.SquashCollateral + sum.SquashReclaim
+	if err := check("task ends", ended, r.SpawnsTaken+1); err != nil {
+		return err
+	}
+	if err := check("violation squashes", sum.SquashViolation+t.UnattributedViolations, r.Violations); err != nil {
+		return err
+	}
+	if err := check("reclaims", sum.SquashReclaim, r.Reclaims); err != nil {
+		return err
+	}
+	if err := check("foreclosures", sum.Foreclosures+t.UnattributedForeclosures, r.Foreclosures); err != nil {
+		return err
+	}
+	if err := check("squashed instrs", sum.SquashedInstrs, r.SquashedInstrs); err != nil {
+		return err
+	}
+	// Task segments tile the retired region of the trace, so the per-site
+	// retired-instruction counts sum to the run's retirement count...
+	if err := check("instrs retired", sum.InstrsRetired, r.Retired); err != nil {
+		return err
+	}
+	// ...and every task-alive cycle lands in exactly one of the credited
+	// (retired or still-live task) or wasted (squashed task) buckets.
+	if err := check("task cycles", sum.CreditedCycles+sum.WastedCycles, r.TaskCycles); err != nil {
+		return err
+	}
+	// Per-category spawn counts match the machine's kind histogram.
+	kinds := t.KindTotals()
+	for k := core.Kind(0); k < core.NumKinds; k++ {
+		if err := check("spawns."+k.String(), kinds[k].Spawns, r.SpawnsByKind[k]); err != nil {
+			return err
+		}
+	}
+	if kinds[attrib.Root].Spawns != 1 {
+		return fmt.Errorf("attribution mismatch: root spawns = %d, want 1", kinds[attrib.Root].Spawns)
+	}
+	return nil
+}

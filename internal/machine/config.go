@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/attrib"
 	"repro/internal/cachesim"
 	"repro/internal/telemetry"
 )
@@ -104,6 +105,16 @@ type Config struct {
 	// observes one run: sharing it across concurrent runs is a data race.
 	// Nil disables telemetry entirely at ~zero cost on the hot loop.
 	Telemetry *telemetry.Collector
+
+	// Attribution, when non-nil, receives per-spawn-site accounting:
+	// every task is keyed by its static spawn point (trigger PC +
+	// core.Kind) and its retire/squash outcome, cycles and instructions
+	// are charged to that site (see internal/attrib and
+	// docs/OBSERVABILITY.md). The table is Reset at the start of the run
+	// — one Table observes one run at a time, and reusing it across
+	// sequential runs keeps the hot loop allocation-free. Nil disables
+	// attribution at ~zero cost.
+	Attribution *attrib.Table
 
 	// PolledScheduler selects the original O(scheduler) per-cycle issue
 	// rescan instead of the event-driven producer-wakeup scheduler. The two

@@ -73,6 +73,9 @@ func TestEventPolledDifferential(t *testing.T) {
 // allocate per-trace-entry state — only a fixed handful of small setup
 // allocations (predictors, store sets, the sim itself) may remain.
 func TestRunSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
 	_, tr, _ := prep(t, hardHammockLoop)
 	cfg := SuperscalarConfig()
 	run := func() {
@@ -81,10 +84,24 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 		}
 	}
 	run() // warm the arena pool
-	allocs := testing.AllocsPerRun(3, run)
+	allocs := minAllocsPerRun(run)
 	// The trace is ~46k entries; per-entry allocation would show up as
 	// thousands. The observed steady state is tens of allocations.
 	if allocs > 200 {
 		t.Fatalf("machine.Run allocates %v objects per run in steady state", allocs)
 	}
+}
+
+// minAllocsPerRun measures AllocsPerRun several times and keeps the
+// minimum: a GC that empties the run-arena sync.Pool mid-measurement (much
+// likelier under the race runtime) inflates a single attempt, while a real
+// per-entry allocation regression inflates every attempt.
+func minAllocsPerRun(run func()) float64 {
+	best := testing.AllocsPerRun(3, run)
+	for i := 0; i < 2; i++ {
+		if a := testing.AllocsPerRun(3, run); a < best {
+			best = a
+		}
+	}
+	return best
 }

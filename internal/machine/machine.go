@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/branchpred"
 	"repro/internal/cachesim"
 	"repro/internal/core"
@@ -39,8 +40,9 @@ type task struct {
 	ras             *branchpred.RAS
 	lastLine        uint64 // last-fetched I-cache line + 1 (0 = none)
 	spawnFrom       uint64 // trigger PC of the spawn that created this task (0 = initial task)
+	spawnKind       uint8  // core.Kind of the creating spawn; attrib.Root for the initial task
 	blockedSpawn    bool   // a viable spawn was foreclosed by the tail-only rule
-	spawnCycle      int64  // cycle the task was created (telemetry)
+	spawnCycle      int64  // cycle the task was created (telemetry/attribution)
 }
 
 func (t *task) fetchDone(traceLen int) bool {
@@ -95,10 +97,19 @@ type Result struct {
 	Stats
 }
 
+// String summarizes the observable counters, including the squash
+// forensics (violations, foreclosures) that the shorter historical form
+// omitted.
+func (s Stats) String() string {
+	return fmt.Sprintf("mispredicts %d, spawns %d, rejected %d, violations %d, squashed instrs %d, foreclosures %d, reclaims %d, diverted %d",
+		s.Mispredicts, s.SpawnsTaken, s.SpawnsRejected, s.Violations,
+		s.SquashedInstrs, s.Foreclosures, s.Reclaims, s.Diverted)
+}
+
 // String summarizes the result.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: %d instrs, %d cycles, IPC %.3f (mispredicts %d, spawns %d, squashes %d)",
-		r.Config, r.Retired, r.Cycles, r.IPC, r.Mispredicts, r.SpawnsTaken, r.Violations)
+	return fmt.Sprintf("%s: %d instrs, %d cycles, IPC %.3f (%s)",
+		r.Config, r.Retired, r.Cycles, r.IPC, r.Stats)
 }
 
 type sim struct {
@@ -159,6 +170,10 @@ type sim struct {
 	// on the simulation loop hides behind that one nil check, so a run
 	// without a Collector pays nothing beyond its ordinary stats fields.
 	tel *telemetrySinks
+
+	// att is nil unless cfg.Attribution was provided; like tel, one nil
+	// check guards every attribution touch on the hot loop.
+	att *attrib.Table
 }
 
 // telemetrySinks holds the tracer and the histogram handles the sim
@@ -277,11 +292,19 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 	if cfg.HintCacheLog2 > 0 {
 		s.hintTags = make([]uint64, 1<<cfg.HintCacheLog2)
 	}
+	if cfg.Attribution != nil {
+		s.att = cfg.Attribution
+		s.att.Reset() // one table observes one run; reuse keeps its arrays
+	}
 	t0 := s.newTask(cfg.RASDepth)
 	t0.end = -1
 	t0.pendingRedirect = -1
+	t0.spawnKind = attrib.Root
 	s.tasks = append(s.tasks, t0)
 	s.nextTaskID = 1
+	if s.att != nil {
+		s.att.Site(0, attrib.Root).Spawns++
+	}
 	if w := cfg.WarmupInstrs; w > 0 {
 		if w > n {
 			w = n
@@ -351,6 +374,19 @@ func (s *sim) freeTask(t *task) {
 }
 
 func (s *sim) result() Result {
+	// Flush tasks still live at the end of the run: their cycles were
+	// accumulated into TaskCycles and their retired prefix into the
+	// retire count, so the attribution totals reconcile exactly.
+	if s.att != nil {
+		for _, t := range s.tasks {
+			st := s.att.Site(t.spawnFrom, t.spawnKind)
+			st.AliveAtEnd++
+			st.CreditedCycles += s.cycle - t.spawnCycle
+			if r := s.retireIdx - t.start; r > 0 {
+				st.InstrsRetired += int64(r)
+			}
+		}
+	}
 	s.stats.ICacheMisses = s.caches.L1I.Misses
 	s.stats.DCacheMisses = s.caches.L1D.Misses
 	s.stats.L2Misses = s.caches.L2.Misses
@@ -480,6 +516,12 @@ func (s *sim) retire() {
 			// The task retired without being squashed: its spawn point
 			// earned its keep.
 			s.scoreSpawn(head.spawnFrom, 1)
+			if s.att != nil {
+				st := s.att.Site(head.spawnFrom, head.spawnKind)
+				st.Retired++
+				st.InstrsRetired += int64(head.end - head.start)
+				st.CreditedCycles += s.cycle - head.spawnCycle
+			}
 			if s.tel != nil {
 				s.taskEnded(head, true)
 				s.emit(telemetry.EvTaskRetire, head.id, int64(head.start), int64(head.end))
@@ -890,6 +932,9 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 	for _, sp := range spawns {
 		if !s.spawnAllowed(sp.From) {
 			s.stats.SpawnsRejected++
+			if s.att != nil {
+				s.att.Site(sp.From, uint8(sp.Kind)).Rejected++
+			}
 			continue
 		}
 		k := s.t.NextOccurrence(sp.Target, i)
@@ -899,6 +944,9 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 		dist := k - i
 		if dist < s.cfg.MinSpawnDistance || dist > s.cfg.MaxSpawnDistance {
 			s.stats.SpawnsRejected++
+			if s.att != nil {
+				s.att.Site(sp.From, uint8(sp.Kind)).Rejected++
+			}
 			continue
 		}
 		if t.end != -1 && k >= t.end {
@@ -921,6 +969,7 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 		nt.hist = t.hist
 		nt.stallUntil = s.cycle + int64(s.cfg.SpawnLatency)
 		nt.spawnFrom = sp.From
+		nt.spawnKind = uint8(sp.Kind)
 		nt.spawnCycle = s.cycle
 		t.ras.CloneInto(nt.ras)
 		s.nextTaskID++
@@ -938,6 +987,9 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 		s.tasks[pos] = nt
 		s.stats.SpawnsTaken++
 		s.stats.SpawnsByKind[sp.Kind]++
+		if s.att != nil {
+			s.att.Site(sp.From, uint8(sp.Kind)).Spawns++
+		}
 		if s.tel != nil {
 			s.emit(telemetry.EvTaskSpawn, nt.id, int64(k), int64(sp.Kind))
 		}
@@ -980,7 +1032,15 @@ func (s *sim) chargeForeclosure(t *task) {
 	for i, x := range s.tasks {
 		if x == t {
 			if i+1 < len(s.tasks) {
-				s.scoreSpawn(s.tasks[i+1].spawnFrom, -1)
+				succ := s.tasks[i+1]
+				s.scoreSpawn(succ.spawnFrom, -1)
+				if s.att != nil {
+					s.att.Site(succ.spawnFrom, succ.spawnKind).Foreclosures++
+				}
+			} else if s.att != nil {
+				// t became the tail again before the mispredict
+				// resolved: no successor is left to blame.
+				s.att.UnattributedForeclosures++
 			}
 			return
 		}
@@ -1044,15 +1104,30 @@ func (s *sim) squash(v violation) {
 
 	j := s.taskIdxOf(v.load)
 	if j < 0 {
-		return // the containing task already vanished; nothing to do
+		// The containing task already vanished; the violation still
+		// counted machine-wide, so the table records it as unowned.
+		if s.att != nil {
+			s.att.UnattributedViolations++
+		}
+		return
 	}
 
 	vt := s.tasks[j]
 	s.scoreSpawn(vt.spawnFrom, -2)
 	squashedBefore := s.stats.SquashedInstrs
-	s.resetRange(v.load, vt.fetchIdx)
+	s.resetRangeCharged(vt, v.load, vt.fetchIdx)
 	for _, t := range s.tasks[j+1:] {
-		s.resetRange(t.start, t.fetchIdx)
+		s.resetRangeCharged(t, t.start, t.fetchIdx)
+	}
+	if s.att != nil {
+		s.att.Site(vt.spawnFrom, vt.spawnKind).SquashViolation++
+		// The violating task restarts in place; only its descendants
+		// leave the machine, their whole lifetime wasted.
+		for _, t := range s.tasks[j+1:] {
+			st := s.att.Site(t.spawnFrom, t.spawnKind)
+			st.SquashCollateral++
+			st.WastedCycles += s.cycle - t.spawnCycle
+		}
 	}
 	if s.tel != nil {
 		s.emit(telemetry.EvViolation, vt.id, int64(v.load), int64(v.store))
@@ -1086,6 +1161,19 @@ func (s *sim) squash(v violation) {
 	}
 
 	s.purgeFrom(v.load)
+}
+
+// resetRangeCharged rolls back [lo, hi) and attributes the squashed
+// instructions to the owning task's spawn site, so per-site
+// SquashedInstrs sums exactly to Stats.SquashedInstrs.
+func (s *sim) resetRangeCharged(t *task, lo, hi int) {
+	if s.att == nil {
+		s.resetRange(lo, hi)
+		return
+	}
+	before := s.stats.SquashedInstrs
+	s.resetRange(lo, hi)
+	s.att.Site(t.spawnFrom, t.spawnKind).SquashedInstrs += s.stats.SquashedInstrs - before
 }
 
 // resetRange rolls back all per-instruction pipeline state for trace
@@ -1156,12 +1244,17 @@ func (s *sim) reclaimYoungest() {
 		s.taskEnded(tail, false)
 		s.emit(telemetry.EvReclaim, tail.id, int64(tail.start), int64(tail.fetchIdx))
 	}
-	s.resetRange(tail.start, tail.fetchIdx)
+	s.resetRangeCharged(tail, tail.start, tail.fetchIdx)
 	s.purgeFrom(tail.start)
 	s.tasks = s.tasks[:len(s.tasks)-1]
 	newTail := s.tasks[len(s.tasks)-1]
 	newTail.end = tail.end
 	s.scoreSpawn(tail.spawnFrom, -1)
+	if s.att != nil {
+		st := s.att.Site(tail.spawnFrom, tail.spawnKind)
+		st.SquashReclaim++
+		st.WastedCycles += s.cycle - tail.spawnCycle
+	}
 	s.freeTask(tail)
 	s.stats.Reclaims++
 }

@@ -66,3 +66,18 @@ func FuzzMachineDifferential(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAttribution runs generated ISA programs with a spawn-site
+// attribution table attached and requires the per-site sums to reconcile
+// exactly with the machine-wide counters, with and without a warmup
+// prefix.
+func FuzzAttribution(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckAttributionSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

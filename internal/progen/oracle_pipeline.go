@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"repro/internal/asm"
+	"repro/internal/attrib"
 	"repro/internal/cc"
 	"repro/internal/cfg"
 	"repro/internal/core"
@@ -158,6 +159,42 @@ func checkMachine(src string) error {
 	return nil
 }
 
+// CheckAttributionSeed generates the Tier-3 program for seed and checks
+// that per-spawn-site attribution reconciles exactly with the machine-wide
+// counters on a plain PolyFlow run and again with a warmup prefix — the
+// one path checkSchedPair always zeroes out.
+func CheckAttributionSeed(seed uint64) error {
+	return fail("attrib", seed, checkAttribution(GenAsm(seed)))
+}
+
+func checkAttribution(src string) error {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return fmt.Errorf("assembling generated program: %w", err)
+	}
+	tr, err := emu.Run(p, emu.Config{MaxInstrs: asmMaxInstrs})
+	if err != nil {
+		return fmt.Errorf("emulating: %w", err)
+	}
+	an, err := core.Analyze(p, tr.IndirectTargets())
+	if err != nil {
+		return fmt.Errorf("analyzing: %w", err)
+	}
+	for _, warmup := range []int{0, tr.Len() / 4} {
+		cfg := machine.PolyFlowConfig()
+		cfg.WarmupInstrs = warmup
+		cfg.Attribution = attrib.NewTable()
+		res, err := machine.Run(tr, nil, core.PolicyPostdoms.Source(an), cfg)
+		if err != nil {
+			return fmt.Errorf("warmup=%d run: %w", warmup, err)
+		}
+		if err := machine.VerifyAttribution(cfg.Attribution, res); err != nil {
+			return fmt.Errorf("warmup=%d: %w", warmup, err)
+		}
+	}
+	return nil
+}
+
 // machineStressConfigs mirrors the hand-written differential test's
 // configurations: a tiny scheduler, ROB reclaim, a small hint cache, and a
 // short divert queue each exercise a different structural difference
@@ -187,17 +224,32 @@ func machineStressConfigs() map[string]machine.Config {
 func checkSchedPair(tr *trace.Trace, an *core.Analysis, name string, cfg machine.Config) error {
 	cfg.WarmupInstrs = 0
 	src := core.PolicyPostdoms.Source(an)
+	cfg.Attribution = attrib.NewTable()
 	event, err := machine.Run(tr, nil, src, cfg)
 	if err != nil {
 		return fmt.Errorf("%s event-driven run: %w", name, err)
 	}
+	if err := machine.VerifyAttribution(cfg.Attribution, event); err != nil {
+		return fmt.Errorf("%s event-driven run: %w", name, err)
+	}
+	evRep := attrib.NewReport(cfg.Attribution, "progen", "postdoms", name, event.Cycles, event.Retired)
+
 	cfg.PolledScheduler = true
+	cfg.Attribution = attrib.NewTable()
 	polled, err := machine.Run(tr, nil, core.PolicyPostdoms.Source(an), cfg)
 	if err != nil {
 		return fmt.Errorf("%s polled run: %w", name, err)
 	}
+	if err := machine.VerifyAttribution(cfg.Attribution, polled); err != nil {
+		return fmt.Errorf("%s polled run: %w", name, err)
+	}
+	poRep := attrib.NewReport(cfg.Attribution, "progen", "postdoms", name, polled.Cycles, polled.Retired)
+
 	if !reflect.DeepEqual(event, polled) {
 		return fmt.Errorf("%s: schedulers diverge:\nevent:  %+v\npolled: %+v", name, event, polled)
+	}
+	if !reflect.DeepEqual(evRep, poRep) {
+		return fmt.Errorf("%s: schedulers attribute differently:\nevent:  %+v\npolled: %+v", name, evRep, poRep)
 	}
 	if event.Retired != int64(tr.Len()) {
 		return fmt.Errorf("%s: retired %d of %d trace entries", name, event.Retired, tr.Len())

@@ -53,6 +53,7 @@ func TestOracleSweep(t *testing.T) {
 	sweep(t, "minic", 0, 120, CheckMiniCSeed)
 	sweep(t, "isa", 0, 120, CheckAsmSeed)
 	sweep(t, "machine", 0, 60, CheckMachineSeed)
+	sweep(t, "attrib", 5_000, 24, CheckAttributionSeed)
 }
 
 // TestOracleSweepFull is the long-running version over a fresh, larger
@@ -66,4 +67,5 @@ func TestOracleSweepFull(t *testing.T) {
 	sweep(t, "minic", 10_000, 500, CheckMiniCSeed)
 	sweep(t, "isa", 10_000, 500, CheckAsmSeed)
 	sweep(t, "machine", 10_000, 150, CheckMachineSeed)
+	sweep(t, "attrib", 50_000, 100, CheckAttributionSeed)
 }

@@ -5,20 +5,50 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // chromeEvent is one record of the Chrome trace-event format (the JSON
 // Perfetto and chrome://tracing load). ts/dur are in microseconds; the
 // export maps one simulated cycle to one microsecond.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	TS   int64          `json:"ts"`
-	Dur  int64          `json:"dur,omitempty"`
-	PID  int            `json:"pid"`
-	TID  int            `json:"tid"`
-	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	S     string         `json:"s,omitempty"`
+	CName string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// spawnKindName labels a task slice by the spawn category recorded in
+// EvTaskSpawn's B payload (-1 marks the initial task).
+func spawnKindName(kind int64) string {
+	if kind < 0 || kind >= int64(core.NumKinds) {
+		return "root"
+	}
+	return core.Kind(kind).String()
+}
+
+// spawnKindColor picks a stable trace-viewer color per spawn category, so
+// task tracks read as a Figure-5 distribution at a glance.
+func spawnKindColor(kind int64) string {
+	switch {
+	case kind < 0 || kind >= int64(core.NumKinds):
+		return "grey" // root
+	case core.Kind(kind) == core.KindLoop:
+		return "thread_state_running"
+	case core.Kind(kind) == core.KindLoopFT:
+		return "rail_response"
+	case core.Kind(kind) == core.KindProcFT:
+		return "rail_animation"
+	case core.Kind(kind) == core.KindHammock:
+		return "rail_load"
+	}
+	return "cq_build_running" // other
 }
 
 // chromeTrace is the top-level trace-event JSON object.
@@ -32,6 +62,7 @@ type openTask struct {
 	slot  int
 	spawn int64
 	start int64 // first trace index
+	kind  int64 // spawn category (EvTaskSpawn.B; -1 = initial task)
 }
 
 // WriteChromeTrace converts buffered events to Chrome trace-event JSON on
@@ -86,10 +117,12 @@ func WriteChromeTrace(w io.Writer, process string, events []Event) error {
 		}
 		args["start_index"] = o.start
 		args["end"] = reason
+		args["kind"] = spawnKindName(o.kind)
 		out = append(out, chromeEvent{
-			Name: fmt.Sprintf("task %d", task),
+			Name: fmt.Sprintf("task %d (%s)", task, spawnKindName(o.kind)),
 			Ph:   "X", TS: o.spawn, Dur: dur, PID: pid, TID: o.slot,
-			Args: args,
+			CName: spawnKindColor(o.kind),
+			Args:  args,
 		})
 		freeSlots = append(freeSlots, o.slot)
 		delete(open, task)
@@ -101,18 +134,22 @@ func WriteChromeTrace(w io.Writer, process string, events []Event) error {
 		}
 		switch e.Kind {
 		case EvTaskSpawn:
-			open[e.Task] = &openTask{slot: takeSlot(), spawn: e.Cycle, start: e.A}
+			open[e.Task] = &openTask{slot: takeSlot(), spawn: e.Cycle, start: e.A, kind: e.B}
 		case EvTaskRetire:
 			closeTask(e.Task, e.Cycle, "retired", map[string]any{"end_index": e.B})
 		case EvTaskSquash:
-			closeTask(e.Task, e.Cycle, "squashed", map[string]any{"fetched_to": e.B})
+			closeTask(e.Task, e.Cycle, "squashed", map[string]any{
+				"fetched_to": e.B, "cause": "memory-violation",
+			})
 			out = append(out, chromeEvent{
 				Name: "squash", Ph: "i", TS: e.Cycle, PID: pid,
 				TID: 0, S: "p",
 				Args: map[string]any{"task": e.Task},
 			})
 		case EvReclaim:
-			closeTask(e.Task, e.Cycle, "reclaimed", map[string]any{"fetched_to": e.B})
+			closeTask(e.Task, e.Cycle, "reclaimed", map[string]any{
+				"fetched_to": e.B, "cause": "rob-reclaim",
+			})
 		case EvMispredict:
 			out = append(out, chromeEvent{
 				Name: "mispredict", Ph: "i", TS: e.Cycle, PID: pid,

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -66,19 +67,21 @@ func TestWriteChromeTraceSlots(t *testing.T) {
 	dt := decodeTrace(t, buf.Bytes())
 	checkMonotonicTS(t, dt)
 
-	slices := map[string]struct {
+	type slice struct {
 		tid     int
 		ts, dur int64
-	}{}
+		kind    string
+		cause   string
+	}
+	slices := map[string]slice{}
 	var haveProcess, haveCounter, haveInstant bool
 	for _, e := range dt.TraceEvents {
 		switch e.Ph {
 		case "X":
 			if e.Name != "icache stall" {
-				slices[e.Name] = struct {
-					tid     int
-					ts, dur int64
-				}{e.TID, e.TS, e.Dur}
+				kind, _ := e.Args["kind"].(string)
+				cause, _ := e.Args["cause"].(string)
+				slices[e.Name] = slice{e.TID, e.TS, e.Dur, kind, cause}
 			}
 		case "M":
 			if e.Name == "process_name" {
@@ -93,11 +96,23 @@ func TestWriteChromeTraceSlots(t *testing.T) {
 	if !haveProcess || !haveCounter || !haveInstant {
 		t.Fatalf("missing event classes: process=%v counter=%v instant=%v", haveProcess, haveCounter, haveInstant)
 	}
-	t0, ok0 := slices["task 0"]
-	t1, ok1 := slices["task 1"]
-	t2, ok2 := slices["task 2"]
+	// Slices carry their spawn category in the name and args (B of the
+	// spawn event: -1 root, 1 loopFT, 3 hammock).
+	t0, ok0 := slices["task 0 (root)"]
+	t1, ok1 := slices["task 1 (loopFT)"]
+	t2, ok2 := slices["task 2 (hammock)"]
 	if !ok0 || !ok1 || !ok2 {
 		t.Fatalf("task slices missing: %v", slices)
+	}
+	if t0.kind != "root" || t1.kind != "loopFT" || t2.kind != "hammock" {
+		t.Fatalf("kind args wrong: %q %q %q", t0.kind, t1.kind, t2.kind)
+	}
+	// The squashed task carries its cause; retired/still-open tasks none.
+	if t1.cause != "memory-violation" {
+		t.Fatalf("squashed task cause = %q, want memory-violation", t1.cause)
+	}
+	if t0.cause != "" || t2.cause != "" {
+		t.Fatalf("unexpected causes: root %q, retired %q", t0.cause, t2.cause)
 	}
 	if t0.tid == t1.tid {
 		t.Fatalf("overlapping tasks share slot %d", t0.tid)
@@ -139,7 +154,7 @@ func TestWriteChromeTraceUnpairedEnd(t *testing.T) {
 	dt := decodeTrace(t, buf.Bytes())
 	checkMonotonicTS(t, dt)
 	for _, e := range dt.TraceEvents {
-		if e.Name == "task 7" {
+		if strings.HasPrefix(e.Name, "task 7") {
 			t.Fatalf("fabricated slice for unpaired retire")
 		}
 	}

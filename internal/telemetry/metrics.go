@@ -232,7 +232,10 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
-// WriteSummary writes every metric in name order as aligned plain text.
+// WriteSummary writes every metric as aligned plain text, in sorted name
+// order with each name emitted exactly once per metric type (counter,
+// then gauge, then histogram). The order is fully deterministic so
+// summary dumps are diffable in CI.
 func (r *Registry) WriteSummary(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -247,42 +250,62 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
-		var err error
-		switch {
-		case r.counters[name] != nil:
-			_, err = fmt.Fprintf(w, "counter   %-36s %d\n", name, *r.counters[name].p)
-		case r.gauges[name] != nil:
-			_, err = fmt.Fprintf(w, "gauge     %-36s %d\n", name, r.gauges[name].v)
-		default:
-			h := r.hists[name]
-			_, err = fmt.Fprintf(w, "histogram %-36s count=%d mean=%.1f min=%d max=%d\n",
-				name, h.count, h.Mean(), h.min, h.max)
-			if err == nil && h.count > 0 {
-				for i, b := range h.bounds {
-					if h.counts[i] == 0 {
-						continue
-					}
-					label := fmt.Sprintf("<= %d", b)
-					if i > 0 {
-						label = fmt.Sprintf("(%d..%d]", h.bounds[i-1], b)
-					}
-					if _, err = fmt.Fprintf(w, "          %36s %-16s %d\n", "", label, h.counts[i]); err != nil {
-						return err
-					}
-				}
-				if n := len(h.bounds); h.counts[n] > 0 {
-					label := "all"
-					if n > 0 {
-						label = fmt.Sprintf("> %d", h.bounds[n-1])
-					}
-					if _, err = fmt.Fprintf(w, "          %36s %-16s %d\n", "", label, h.counts[n]); err != nil {
-						return err
-					}
-				}
+	// A name registered under more than one metric type appears in the
+	// collected list once per type; dedupe so each name renders one pass.
+	uniq := names[:0]
+	for i, name := range names {
+		if i == 0 || name != names[i-1] {
+			uniq = append(uniq, name)
+		}
+	}
+	for _, name := range uniq {
+		if c := r.counters[name]; c != nil {
+			if _, err := fmt.Fprintf(w, "counter   %-36s %d\n", name, *c.p); err != nil {
+				return err
 			}
 		}
-		if err != nil {
+		if g := r.gauges[name]; g != nil {
+			if _, err := fmt.Fprintf(w, "gauge     %-36s %d\n", name, g.v); err != nil {
+				return err
+			}
+		}
+		if h := r.hists[name]; h != nil {
+			if err := writeHistogram(w, name, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram's summary line and its non-empty
+// buckets.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "histogram %-36s count=%d mean=%.1f min=%d max=%d\n",
+		name, h.count, h.Mean(), h.min, h.max); err != nil {
+		return err
+	}
+	if h.count == 0 {
+		return nil
+	}
+	for i, b := range h.bounds {
+		if h.counts[i] == 0 {
+			continue
+		}
+		label := fmt.Sprintf("<= %d", b)
+		if i > 0 {
+			label = fmt.Sprintf("(%d..%d]", h.bounds[i-1], b)
+		}
+		if _, err := fmt.Fprintf(w, "          %36s %-16s %d\n", "", label, h.counts[i]); err != nil {
+			return err
+		}
+	}
+	if n := len(h.bounds); h.counts[n] > 0 {
+		label := "all"
+		if n > 0 {
+			label = fmt.Sprintf("> %d", h.bounds[n-1])
+		}
+		if _, err := fmt.Fprintf(w, "          %36s %-16s %d\n", "", label, h.counts[n]); err != nil {
 			return err
 		}
 	}

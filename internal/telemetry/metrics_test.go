@@ -118,6 +118,53 @@ func TestWriteSummary(t *testing.T) {
 	}
 }
 
+// TestWriteSummaryDeterministic: the summary must be byte-identical
+// across repeated renders (map iteration must never leak into the
+// output), and a name registered under several metric types must appear
+// exactly once per type, counter first — the old renderer printed such a
+// name's counter twice and dropped the gauge.
+func TestWriteSummaryDeterministic(t *testing.T) {
+	render := func() string {
+		r := NewRegistry()
+		r.Counter("dual").Add(7)
+		r.Gauge("dual").Set(9)
+		r.Histogram("dual", []int64{4}).Observe(1)
+		r.Counter("alpha").Add(1)
+		r.Gauge("zeta").Set(2)
+		var b strings.Builder
+		if err := r.WriteSummary(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := render()
+	for i := 0; i < 10; i++ {
+		if again := render(); again != out {
+			t.Fatalf("summary not deterministic:\n--- first\n%s--- again\n%s", out, again)
+		}
+	}
+	for _, line := range []string{
+		"counter   dual",
+		"gauge     dual",
+		"histogram dual",
+	} {
+		if n := strings.Count(out, line); n != 1 {
+			t.Fatalf("%q appears %d times, want 1:\n%s", line, n, out)
+		}
+	}
+	// Name-major order: all of dual's entries sit between alpha and zeta,
+	// and within a name the counter precedes the gauge.
+	ia := strings.Index(out, "alpha")
+	ic := strings.Index(out, "counter   dual")
+	ig := strings.Index(out, "gauge     dual")
+	ih := strings.Index(out, "histogram dual")
+	iz := strings.Index(out, "zeta")
+	if !(ia < ic && ic < ig && ig < ih && ih < iz) {
+		t.Fatalf("summary order wrong (alpha=%d counter=%d gauge=%d hist=%d zeta=%d):\n%s",
+			ia, ic, ig, ih, iz, out)
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Add(2)

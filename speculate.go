@@ -170,6 +170,7 @@ func (b *Bench) RunNamed(name string, cfg machine.Config) (machine.Result, error
 	case "superscalar":
 		ss := machine.SuperscalarConfig()
 		ss.Telemetry = cfg.Telemetry
+		ss.Attribution = cfg.Attribution
 		ss.PolledScheduler = cfg.PolledScheduler
 		ss.WarmupInstrs = cfg.WarmupInstrs
 		return b.RunSuperscalarConfig(ss)
