@@ -1,0 +1,38 @@
+// Command jsonfield prints one top-level field of a JSON object read from
+// stdin — the CI smoke scripts' dependency-free stand-in for jq:
+//
+//	curl -s .../v1/jobs/j1 | go run ./ci/jsonfield state
+//
+// Strings print unquoted; other values print as JSON. A missing field is an
+// error, so a schema drift fails the pipeline loudly instead of comparing
+// against an empty string.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonfield <field> < object.json")
+		os.Exit(2)
+	}
+	var obj map[string]json.RawMessage
+	if err := json.NewDecoder(os.Stdin).Decode(&obj); err != nil {
+		fmt.Fprintln(os.Stderr, "jsonfield:", err)
+		os.Exit(1)
+	}
+	raw, ok := obj[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jsonfield: no field %q\n", os.Args[1])
+		os.Exit(1)
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		fmt.Println(s)
+		return
+	}
+	fmt.Println(string(raw))
+}

@@ -9,12 +9,16 @@
 //	experiments -fig 12 -format json
 //	experiments -fig 9 -bench twolf -policy postdoms -trace-dir out/
 //	experiments -fig 9 -attrib-dir attrib/
+//	experiments -cache-dir ~/.cache/polyflow   # reruns hit the artifact cache
 //
 // -bench and -policy take comma-separated lists and narrow the grid to the
 // named cells; -trace-dir attaches telemetry to every simulated cell and
 // writes a Chrome trace (Perfetto-loadable) plus a metrics summary per cell
 // into the directory; -attrib-dir writes a per-spawn-site attribution
-// report (JSON, for polystat) per cell. See docs/OBSERVABILITY.md.
+// report (JSON, for polystat) per cell; -cache-dir memoizes every cell in a
+// content-addressed artifact cache shared with polyflowd, so unchanged
+// cells are decoded instead of resimulated. See docs/OBSERVABILITY.md and
+// docs/SERVICE.md.
 package main
 
 import (
@@ -25,15 +29,17 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/harness"
 )
 
 var (
-	format  = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
-	bench   = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
-	policy  = flag.String("policy", "", "comma-separated policy filter (default: all)")
-	traces  = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
-	attribs = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
+	format   = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
+	bench    = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
+	policy   = flag.String("policy", "", "comma-separated policy filter (default: all)")
+	traces   = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
+	attribs  = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
+	cacheDir = flag.String("cache-dir", "", "memoize simulations in a content-addressed artifact cache rooted at this directory")
 )
 
 func main() {
@@ -56,7 +62,12 @@ func main() {
 	}
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
-	if err := run(want, options()); err != nil {
+	o, err := options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if err := run(want, o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -77,13 +88,21 @@ func main() {
 }
 
 // options assembles the harness Options from the filter flags.
-func options() harness.Options {
-	return harness.Options{
+func options() (harness.Options, error) {
+	o := harness.Options{
 		Benches:   splitList(*bench),
 		Policies:  splitList(*policy),
 		TraceDir:  *traces,
 		AttribDir: *attribs,
 	}
+	if *cacheDir != "" {
+		cache, err := artifact.New(artifact.Options{Dir: *cacheDir})
+		if err != nil {
+			return o, err
+		}
+		o.Cache = cache
+	}
+	return o, nil
 }
 
 func splitList(s string) []string {

@@ -8,16 +8,19 @@
 //	polyflow -bench gcc -policy rec_pred
 //	polyflow -bench twolf -policy postdoms -trace twolf.trace.json -metrics
 //	polyflow -bench gzip -policy postdoms -attrib gzip.attrib.json
+//	polyflow -bench gcc -policy postdoms -timeout 30s
 //	polyflow -list
 //
 // -trace writes the run's cycle timeline as Chrome trace-event JSON (open
 // it in Perfetto: ui.perfetto.dev); -metrics prints the full telemetry
 // summary after the run; -attrib writes the per-spawn-site attribution
-// report as JSON (render or compare it with polystat). See
-// docs/OBSERVABILITY.md.
+// report as JSON (render or compare it with polystat); -timeout bounds the
+// whole run (the simulation's context is canceled and the cycle loop aborts
+// promptly). See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +42,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics summary after the run")
 	attribFile := flag.String("attrib", "", "write the per-spawn-site attribution report as JSON to this file")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (e.g. 30s; 0 = no limit)")
 	list := flag.Bool("list", false, "list workloads and policies")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -63,7 +67,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile); err != nil {
 		fmt.Fprintln(os.Stderr, "polyflow:", err)
 		os.Exit(1)
 	}
@@ -83,7 +93,7 @@ func main() {
 	}
 }
 
-func run(benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile string) error {
+func run(ctx context.Context, benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile string) error {
 	b, err := speculate.Load(benchName)
 	if err != nil {
 		return err
@@ -117,7 +127,7 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 		cfg := machine.SuperscalarConfig()
 		cfg.Telemetry = col
 		cfg.Attribution = tbl
-		base, err := b.RunSuperscalarConfig(cfg)
+		base, err := b.RunSuperscalarContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -125,7 +135,7 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 		return finish(col, tbl, b.Name, policyName, base, traceFile, metrics, attribFile)
 	}
 
-	base, err := b.RunSuperscalar()
+	base, err := b.RunSuperscalarContext(ctx, machine.SuperscalarConfig())
 	if err != nil {
 		return err
 	}
@@ -135,7 +145,7 @@ func run(benchName, policyName string, tasks int, verbose bool, traceFile string
 	cfg.MaxTasks = tasks
 	cfg.Telemetry = col
 	cfg.Attribution = tbl
-	res, err := b.RunNamed(policyName, cfg)
+	res, err := b.RunNamedContext(ctx, policyName, cfg)
 	if err != nil {
 		return err
 	}

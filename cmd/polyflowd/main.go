@@ -1,0 +1,103 @@
+// Command polyflowd serves PolyFlow simulations over HTTP: clients submit
+// (bench, policy) jobs, poll status, stream progress via SSE, and fetch
+// results and attribution reports. Jobs run on a bounded worker pool
+// (reject-when-full answers 429) and results are memoized in the
+// content-addressed artifact cache, shared on disk with
+// `experiments -cache-dir`.
+//
+// Usage:
+//
+//	polyflowd -addr :8080 -cache-dir /var/cache/polyflow
+//	polyflowd -addr 127.0.0.1:0 -workers 4 -queue-depth 128
+//
+// Submit and fetch with curl:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"bench":"gzip","policy":"postdoms"}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/jobs/<id>/attrib
+//
+// SIGINT/SIGTERM drain gracefully: intake stops (submissions answer 503),
+// accepted jobs finish (bounded by -drain-timeout), then the process exits.
+// See docs/SERVICE.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/jobqueue"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	cacheDir := flag.String("cache-dir", "", "on-disk artifact cache root (empty = memory-only cache)")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "queued-job bound; submissions beyond it answer 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown signal waits for running jobs before canceling them")
+	flag.Parse()
+
+	if err := run(*addr, *cacheDir, *workers, *queueDepth, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "polyflowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, workers, queueDepth int, drainTimeout time.Duration) error {
+	cache, err := artifact.New(artifact.Options{Dir: cacheDir})
+	if err != nil {
+		return err
+	}
+	pool := jobqueue.New(jobqueue.Config{Workers: workers, QueueDepth: queueDepth})
+	srv, err := server.New(server.Config{Pool: pool, Cache: cache})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	log.Printf("polyflowd: listening on %s (workers=%d queue-depth=%d cache-dir=%q)",
+		ln.Addr(), pool.Stats().Workers, queueDepth, cacheDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("polyflowd: %s received, draining (timeout %s)", sig, drainTimeout)
+	case err := <-serveErr:
+		pool.Close()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain first: intake flips to 503 and running jobs finish (SSE streams
+	// close), so the subsequent HTTP shutdown has no long-lived handlers to
+	// wait out.
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("polyflowd: drain deadline hit, canceled remaining jobs: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("polyflowd: http shutdown: %v", err)
+	}
+	pool.Close()
+	log.Printf("polyflowd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,282 @@
+// Command polyload load-tests a polyflowd instance: N concurrent clients
+// each issue M job requests, and the tool reports cold-start latency,
+// steady-state (warm-cache) throughput, latency percentiles, and the cache
+// hit rate. With no -addr it starts an in-process server, so a single
+// command measures the service end to end.
+//
+// Usage:
+//
+//	polyload                                  # in-process server, defaults
+//	polyload -clients 8 -requests 25
+//	polyload -addr http://127.0.0.1:8080      # against a running daemon
+//	polyload -bench gzip,mcf -policy postdoms -record
+//
+// The warm phase replays the same (bench, policy) cells, so every request
+// past the first per cell is served from the content-addressed artifact
+// cache; -record appends the measurements to BENCH_simulator.json. See
+// docs/SERVICE.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/jobqueue"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "polyflowd base URL (empty = start an in-process server)")
+	clients := flag.Int("clients", 4, "concurrent clients in the warm phase")
+	requests := flag.Int("requests", 20, "requests per client in the warm phase")
+	benchList := flag.String("bench", "gzip,mcf,twolf", "comma-separated benchmarks to cycle through")
+	policyList := flag.String("policy", "postdoms", "comma-separated policies to cycle through")
+	cacheDir := flag.String("cache-dir", "", "cache root for the in-process server (empty = memory-only)")
+	record := flag.Bool("record", false, "append the measurements to BENCH_simulator.json")
+	flag.Parse()
+
+	if err := run(*addr, *clients, *requests, splitList(*benchList), splitList(*policyList), *cacheDir, *record); err != nil {
+		fmt.Fprintln(os.Stderr, "polyload:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+type cell struct{ bench, policy string }
+
+// submitAndWait runs one request to completion and returns its end-to-end
+// latency and whether it was served from the cache.
+func submitAndWait(ctx context.Context, c *server.Client, req server.Request) (time.Duration, bool, error) {
+	start := time.Now()
+	for {
+		st, code, err := c.Submit(ctx, req)
+		if err != nil {
+			if code == http.StatusTooManyRequests {
+				// Shed load is part of the protocol: back off and retry.
+				select {
+				case <-ctx.Done():
+					return 0, false, ctx.Err()
+				case <-time.After(2 * time.Millisecond):
+				}
+				continue
+			}
+			return 0, false, err
+		}
+		fin, err := c.Wait(ctx, st.ID, time.Millisecond)
+		if err != nil {
+			return 0, false, err
+		}
+		if fin.State != "succeeded" {
+			return 0, false, fmt.Errorf("job %s finished %s: %s", st.ID, fin.State, fin.Error)
+		}
+		return time.Since(start), fin.CacheHit, nil
+	}
+}
+
+func run(addr string, clients, requests int, benches, policies []string, cacheDir string, record bool) error {
+	ctx := context.Background()
+	if addr == "" {
+		cache, err := artifact.New(artifact.Options{Dir: cacheDir})
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{
+			Cache: cache,
+			// Depth scaled to the offered load so the warm phase measures
+			// throughput, not retry backoff.
+			Pool: jobqueue.New(jobqueue.Config{QueueDepth: clients * 4}),
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		addr = "http://" + ln.Addr().String()
+		fmt.Printf("in-process polyflowd at %s\n", addr)
+	}
+	c := &server.Client{Base: addr}
+
+	var cells []cell
+	for _, b := range benches {
+		for _, p := range policies {
+			cells = append(cells, cell{b, p})
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("no (bench, policy) cells selected")
+	}
+
+	// Cold phase: one request per distinct cell, sequential, so each
+	// latency is a full simulation (plus service overhead).
+	var coldTotal time.Duration
+	for _, cl := range cells {
+		lat, hit, err := submitAndWait(ctx, c, server.Request{Bench: cl.bench, Policy: cl.policy})
+		if err != nil {
+			return fmt.Errorf("cold %s/%s: %w", cl.bench, cl.policy, err)
+		}
+		if hit {
+			fmt.Printf("note: cold %s/%s was already cached\n", cl.bench, cl.policy)
+		}
+		fmt.Printf("cold  %-10s %-12s %8.1fms\n", cl.bench, cl.policy, lat.Seconds()*1e3)
+		coldTotal += lat
+	}
+	coldMean := coldTotal / time.Duration(len(cells))
+
+	// Sequential warm pass: the same cells under the same (one-at-a-time)
+	// conditions as the cold pass, so warm/cold is an apples-to-apples
+	// cache speedup, not a concurrency artifact.
+	var warmSeqTotal time.Duration
+	for _, cl := range cells {
+		lat, hit, err := submitAndWait(ctx, c, server.Request{Bench: cl.bench, Policy: cl.policy})
+		if err != nil {
+			return fmt.Errorf("warm %s/%s: %w", cl.bench, cl.policy, err)
+		}
+		if !hit {
+			fmt.Printf("note: warm %s/%s missed the cache\n", cl.bench, cl.policy)
+		}
+		fmt.Printf("warm  %-10s %-12s %8.1fms\n", cl.bench, cl.policy, lat.Seconds()*1e3)
+		warmSeqTotal += lat
+	}
+	warmSeqMean := warmSeqTotal / time.Duration(len(cells))
+
+	// Concurrent warm phase: N clients × M requests over the same cells,
+	// all served from the cache — the steady-state throughput measurement.
+	type sample struct {
+		lat time.Duration
+		hit bool
+	}
+	total := clients * requests
+	samples := make([]sample, total)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	warmStart := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				k := w*requests + i
+				cl := cells[k%len(cells)]
+				lat, hit, err := submitAndWait(ctx, c, server.Request{Bench: cl.bench, Policy: cl.policy})
+				if err != nil {
+					errs[w] = fmt.Errorf("client %d: %w", w, err)
+					return
+				}
+				samples[k] = sample{lat, hit}
+			}
+		}(w)
+	}
+	wg.Wait()
+	warmWall := time.Since(warmStart)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	lats := make([]time.Duration, total)
+	hits := 0
+	for i, s := range samples {
+		lats[i] = s.lat
+		if s.hit {
+			hits++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration { return lats[int(p*float64(total-1))] }
+	var warmTotal time.Duration
+	for _, l := range lats {
+		warmTotal += l
+	}
+	warmMean := warmTotal / time.Duration(total)
+	rps := float64(total) / warmWall.Seconds()
+	hitRate := float64(hits) / float64(total)
+
+	fmt.Printf("\nwarm: %d clients x %d requests over %d cells\n", clients, requests, len(cells))
+	fmt.Printf("  throughput     %8.1f req/s\n", rps)
+	fmt.Printf("  cache hit rate %8.1f%%\n", 100*hitRate)
+	fmt.Printf("  latency mean   %8.2fms  p50 %.2fms  p95 %.2fms  max %.2fms\n",
+		warmMean.Seconds()*1e3, pct(0.50).Seconds()*1e3, pct(0.95).Seconds()*1e3, lats[total-1].Seconds()*1e3)
+	speedup := float64(coldMean) / float64(warmSeqMean)
+	fmt.Printf("  cold mean      %8.2fms  warm mean %.2fms (sequential) -> warm is %.1fx faster\n",
+		coldMean.Seconds()*1e3, warmSeqMean.Seconds()*1e3, speedup)
+	if speedup < 10 {
+		fmt.Printf("  WARNING: warm/cold speedup %.1fx below the 10x service target\n", speedup)
+	}
+
+	if record {
+		return recordBench(rps, hitRate, coldMean, warmSeqMean, pct(0.50), pct(0.95))
+	}
+	return nil
+}
+
+// recordBench appends the service measurements to BENCH_simulator.json,
+// following the file's history-of-entries shape.
+func recordBench(rps, hitRate float64, coldMean, warmMean, p50, p95 time.Duration) error {
+	const path = "BENCH_simulator.json"
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	history, _ := doc["history"].([]any)
+	entry := map[string]any{
+		"label": "polyflowd service load test (cmd/polyload)",
+		"date":  time.Now().Format("2006-01-02"),
+		"go":    goVersion(),
+		"service": map[string]any{
+			"warm_req_per_sec": round1(rps),
+			"cache_hit_rate":   round3(hitRate),
+			"cold_mean_ms":     round2(coldMean.Seconds() * 1e3),
+			"warm_mean_ms":     round2(warmMean.Seconds() * 1e3),
+			"warm_p50_ms":      round2(p50.Seconds() * 1e3),
+			"warm_p95_ms":      round2(p95.Seconds() * 1e3),
+			"warm_over_cold_x": round1(float64(coldMean) / float64(warmMean)),
+		},
+	}
+	doc["history"] = append(history, entry)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded service entry in %s\n", path)
+	return nil
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func goVersion() string { return runtime.Version() }

@@ -1,0 +1,94 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// diskTier stores artifacts as files laid out by hash:
+//
+//	<root>/polyflow-cache.marker
+//	<root>/<hh>/<hash>.json
+//
+// where hh is the first two hex digits of the hash (256-way fan-out keeps
+// directories small at millions of entries). Writes go through a temp file
+// in the same directory plus rename, so concurrent producers of the same
+// artifact race benignly: both write identical bytes and the rename is
+// atomic. The marker file guards against pointing the cache at a directory
+// that holds anything else.
+type diskTier struct {
+	root string
+	seq  atomic.Uint64 // distinguishes temp files within one process
+}
+
+const markerName = "polyflow-cache.marker"
+
+func newDiskTier(root string) (*diskTier, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: creating cache dir: %w", err)
+	}
+	marker := filepath.Join(root, markerName)
+	if _, err := os.Stat(marker); errors.Is(err, fs.ErrNotExist) {
+		// Refuse to adopt a non-empty directory that isn't already a cache.
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) > 0 {
+			return nil, fmt.Errorf("artifact: %s is non-empty and not a polyflow cache (no %s)", root, markerName)
+		}
+		if err := os.WriteFile(marker, []byte("polyflow artifact cache; see docs/SERVICE.md\n"), 0o644); err != nil {
+			return nil, err
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	return &diskTier{root: root}, nil
+}
+
+func (d *diskTier) path(hash string) (string, error) {
+	if len(hash) < 3 || strings.ContainsAny(hash, "/\\.") {
+		return "", fmt.Errorf("artifact: malformed hash %q", hash)
+	}
+	return filepath.Join(d.root, hash[:2], hash+".json"), nil
+}
+
+func (d *diskTier) get(hash string) ([]byte, bool, error) {
+	p, err := d.path(hash)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (d *diskTier) put(hash string, data []byte) error {
+	p, err := d.path(hash)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf(".tmp-%d-%d", os.Getpid(), d.seq.Add(1)))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package artifact is the simulator's content-addressed result cache.
+//
+// The full pipeline — assemble, emulate, analyze, simulate — is
+// deterministic per (program source, machine configuration, spawn policy),
+// so its products are cacheable forever under a canonical hash of those
+// inputs. The cache is two-tier: a bounded in-memory LRU in front of an
+// on-disk store laid out by hash, with singleflight deduplication so
+// concurrent identical requests run the pipeline once and share the
+// result. polyflowd serves from it; cmd/experiments fills it via
+// -cache-dir; cached and freshly computed artifacts are byte-identical
+// (enforced by the correctness tests in this package).
+//
+// See docs/SERVICE.md for the on-disk layout and operational notes.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// KeySchema identifies the key layout. Bump on any change to the fields
+// hashed into a key — old cache entries then miss instead of aliasing.
+const KeySchema = "polyflow-sim-key/1"
+
+// ErrUncacheable marks inputs whose identity cannot be captured in a key:
+// a bench prepared from an unregistered source, or a configuration with a
+// custom cache hierarchy attached. Callers fall back to computing without
+// the cache.
+var ErrUncacheable = errors.New("artifact: inputs are not cacheable")
+
+// Key is the canonical identity of one simulation: the workload source,
+// the emulation bound, the spawn policy, and the machine configuration
+// fingerprint. Its hash addresses the artifact in both tiers.
+type Key struct {
+	Schema    string `json:"schema"`
+	Workload  string `json:"workload"`
+	SourceSHA string `json:"source_sha"`
+	MaxInstrs int    `json:"max_instrs"`
+	Policy    string `json:"policy"`
+	Config    string `json:"config"`
+}
+
+// NewSimKey builds the key for simulating the named workload (with the
+// given assembly-source hash and emulation bound) under policy and cfg.
+// It fails with ErrUncacheable when sourceSHA is empty or cfg carries a
+// custom cache hierarchy.
+func NewSimKey(workload, sourceSHA string, maxInstrs int, policy string, cfg machine.Config) (Key, error) {
+	if sourceSHA == "" {
+		return Key{}, fmt.Errorf("%w: bench %q has no source hash", ErrUncacheable, workload)
+	}
+	fp, err := ConfigFingerprint(cfg)
+	if err != nil {
+		return Key{}, err
+	}
+	return Key{
+		Schema:    KeySchema,
+		Workload:  workload,
+		SourceSHA: sourceSHA,
+		MaxInstrs: maxInstrs,
+		Policy:    policy,
+		Config:    fp,
+	}, nil
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its canonical
+// JSON serialization.
+func (k Key) Hash() string {
+	data, err := json.Marshal(k)
+	if err != nil {
+		// Key is a struct of strings and ints; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// SourceSHA hashes program source text for use in keys.
+func SourceSHA(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// configKey shadows machine.Config field-for-field for the semantic
+// (timing- or result-relevant) fields. The runtime observer attachments —
+// Telemetry, Attribution, OnSample — are deliberately absent: they record
+// a run without changing its outcome (the overhead guards and
+// VerifyAttribution prove it), so attaching them must not split the cache.
+// TestConfigFingerprintCoversEveryField walks machine.Config by reflection
+// and fails when a new field is neither mirrored here nor explicitly
+// allowlisted as an observer, so a field cannot be forgotten silently.
+type configKey struct {
+	Name               string
+	Width              int
+	FetchTasksPerCycle int
+	FrontEndDepth      int
+	FetchBufPerTask    int
+	GshareLog2         int
+	GshareHistBits     int
+	BTBLog2            int
+	RASDepth           int
+	RedirectPenalty    int
+	ROBSize            int
+	SchedSize          int
+	NumFUs             int
+	CommitWidth        int
+	DivertQSize        int
+	ROBReserve         int
+	SchedReserve       int
+	MaxTasks           int
+	MaxSpawnDistance   int
+	MinSpawnDistance   int
+	SpawnFromTailOnly  bool
+	StoreSetWays       int
+	SpawnLatency       int
+	ProfitPatience     int
+	ProfitMinTaskLen   int
+	HintCacheLog2      int
+	ReclaimROB         bool
+	WarmupInstrs       int
+	SampleInterval     int64
+	Caches             string
+	PolledScheduler    bool
+	MaxCycles          int64
+}
+
+// ConfigFingerprint canonicalizes a machine configuration for keying.
+// Configurations with a custom cache hierarchy are ErrUncacheable: the
+// hierarchy's geometry lives behind unexported fields, so its identity
+// cannot be hashed faithfully.
+func ConfigFingerprint(cfg machine.Config) (string, error) {
+	if cfg.Caches != nil {
+		return "", fmt.Errorf("%w: custom cache hierarchy attached", ErrUncacheable)
+	}
+	data, err := json.Marshal(configKey{
+		Name:               cfg.Name,
+		Width:              cfg.Width,
+		FetchTasksPerCycle: cfg.FetchTasksPerCycle,
+		FrontEndDepth:      cfg.FrontEndDepth,
+		FetchBufPerTask:    cfg.FetchBufPerTask,
+		GshareLog2:         cfg.GshareLog2,
+		GshareHistBits:     cfg.GshareHistBits,
+		BTBLog2:            cfg.BTBLog2,
+		RASDepth:           cfg.RASDepth,
+		RedirectPenalty:    cfg.RedirectPenalty,
+		ROBSize:            cfg.ROBSize,
+		SchedSize:          cfg.SchedSize,
+		NumFUs:             cfg.NumFUs,
+		CommitWidth:        cfg.CommitWidth,
+		DivertQSize:        cfg.DivertQSize,
+		ROBReserve:         cfg.ROBReserve,
+		SchedReserve:       cfg.SchedReserve,
+		MaxTasks:           cfg.MaxTasks,
+		MaxSpawnDistance:   cfg.MaxSpawnDistance,
+		MinSpawnDistance:   cfg.MinSpawnDistance,
+		SpawnFromTailOnly:  cfg.SpawnFromTailOnly,
+		StoreSetWays:       cfg.StoreSetWays,
+		SpawnLatency:       cfg.SpawnLatency,
+		ProfitPatience:     cfg.ProfitPatience,
+		ProfitMinTaskLen:   cfg.ProfitMinTaskLen,
+		HintCacheLog2:      cfg.HintCacheLog2,
+		ReclaimROB:         cfg.ReclaimROB,
+		WarmupInstrs:       cfg.WarmupInstrs,
+		SampleInterval:     cfg.SampleInterval,
+		Caches:             "default",
+		PolledScheduler:    cfg.PolledScheduler,
+		MaxCycles:          cfg.MaxCycles,
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

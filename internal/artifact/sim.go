@@ -1,0 +1,46 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/attrib"
+	"repro/internal/machine"
+)
+
+// SimSchema identifies the simulation-artifact JSON layout. Bump on any
+// incompatible change to SimArtifact or the types it embeds — stale disk
+// entries then decode-fail and are recomputed rather than misread.
+const SimSchema = "polyflow-simart/1"
+
+// SimArtifact is the cached product of one simulation: the full machine
+// result plus, when attribution was attached, the per-spawn-site report.
+// Encoding is deterministic (encoding/json over fixed struct fields), so
+// a cached artifact is byte-identical to a freshly computed one — the
+// property the correctness tests pin across every workload.
+type SimArtifact struct {
+	Schema string         `json:"schema"`
+	Key    Key            `json:"key"`
+	Result machine.Result `json:"result"`
+	Attrib *attrib.Report `json:"attrib,omitempty"`
+}
+
+// EncodeSim serializes the artifact for storage.
+func EncodeSim(a *SimArtifact) ([]byte, error) {
+	if a.Schema == "" {
+		a.Schema = SimSchema
+	}
+	return json.Marshal(a)
+}
+
+// DecodeSim parses a stored artifact and checks its schema.
+func DecodeSim(data []byte) (*SimArtifact, error) {
+	var a SimArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("artifact: parsing sim artifact: %w", err)
+	}
+	if a.Schema != SimSchema {
+		return nil, fmt.Errorf("artifact: sim artifact schema %q, want %q", a.Schema, SimSchema)
+	}
+	return &a, nil
+}

@@ -7,16 +7,19 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"sync"
+	"time"
 
 	"repro"
+	"repro/internal/artifact"
 	"repro/internal/attrib"
 	"repro/internal/core"
+	"repro/internal/jobqueue"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 )
@@ -35,13 +38,34 @@ type Options struct {
 	// simulated cell and writes <bench>_<policy>.trace.json (Chrome
 	// trace-event JSON, loadable in Perfetto) plus
 	// <bench>_<policy>.metrics.txt into the directory, creating it if
-	// needed.
+	// needed. Tracing needs a live run, so it bypasses the artifact cache.
 	TraceDir string
 	// AttribDir, when non-empty, attaches a per-spawn-site attribution
 	// table to every simulated cell, verifies its totals against the
 	// machine counters, and writes <bench>_<policy>.attrib.json into the
 	// directory (the polystat report/diff input), creating it if needed.
 	AttribDir string
+	// Context cancels the grid: cells abort promptly when it expires.
+	// Nil means context.Background().
+	Context context.Context
+	// Pool, when non-nil, schedules the grid's cells (and benchmark
+	// preparation) on an existing jobqueue pool — polyflowd shares its
+	// serving pool with figure regeneration this way. Nil runs each grid
+	// on an ephemeral pool sized to GOMAXPROCS.
+	Pool *jobqueue.Pool
+	// Cache, when non-nil, memoizes each cell's simulation in the
+	// content-addressed artifact cache: hits skip the run entirely and
+	// decode the stored result (byte-identical to a fresh run; see
+	// internal/artifact). Cells that export traces bypass it.
+	Cache *artifact.Cache
+}
+
+// ctx returns the grid context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func matches(filter []string, name string) bool {
@@ -111,16 +135,120 @@ func (o Options) exportCell(bench, policy string, col *telemetry.Collector, tbl 
 		if err := machine.VerifyAttribution(tbl, res); err != nil {
 			return err
 		}
-		if err := os.MkdirAll(o.AttribDir, 0o755); err != nil {
-			return err
-		}
 		rep := attrib.NewReport(tbl, bench, policy, res.Config, res.Cycles, res.Retired)
-		stem := filepath.Join(o.AttribDir, fileToken(bench)+"_"+fileToken(policy))
-		if err := rep.WriteFile(stem + ".attrib.json"); err != nil {
+		if err := o.writeAttrib(bench, policy, rep); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeAttrib writes one cell's attribution report under o.AttribDir.
+func (o Options) writeAttrib(bench, policy string, rep *attrib.Report) error {
+	if err := os.MkdirAll(o.AttribDir, 0o755); err != nil {
+		return err
+	}
+	stem := filepath.Join(o.AttribDir, fileToken(bench)+"_"+fileToken(policy))
+	return rep.WriteFile(stem + ".attrib.json")
+}
+
+// pool returns the scheduling pool for a batch of at most depth jobs and
+// whether the caller owns (and must Close) it.
+func (o Options) pool(depth int) (*jobqueue.Pool, bool) {
+	if o.Pool != nil {
+		return o.Pool, false
+	}
+	return jobqueue.New(jobqueue.Config{QueueDepth: depth, BaseContext: o.ctx()}), true
+}
+
+// submitWait submits to pool, waiting out transient ErrQueueFull — batch
+// grids may be wider than a shared pool's queue bound, and unlike served
+// traffic they would rather wait than shed load.
+func submitWait(ctx context.Context, pool *jobqueue.Pool, job jobqueue.Job) (*jobqueue.Handle, error) {
+	for {
+		h, err := pool.Submit(job)
+		if err == nil {
+			return h, nil
+		}
+		if !errors.Is(err, jobqueue.ErrQueueFull) {
+			return nil, fmt.Errorf("job %s: %w", job.ID, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// runCell simulates one (bench, column) cell, going through the artifact
+// cache when one is attached: a hit decodes the stored artifact instead of
+// running the pipeline, and a miss computes with attribution attached so
+// the stored artifact always carries its report. Cells that export traces
+// (or whose inputs are uncacheable) run live.
+func (o Options) runCell(ctx context.Context, b *speculate.Bench, colName string, baseCfg machine.Config,
+	sim func(ctx context.Context, cfg machine.Config) (machine.Result, error)) (machine.Result, error) {
+
+	if o.Cache == nil || o.TraceDir != "" {
+		return o.runCellLive(ctx, b, colName, baseCfg, sim)
+	}
+	key, err := artifact.NewSimKey(b.Name, b.SourceSHA, b.MaxInstrs, colName, baseCfg)
+	if errors.Is(err, artifact.ErrUncacheable) {
+		return o.runCellLive(ctx, b, colName, baseCfg, sim)
+	}
+	if err != nil {
+		return machine.Result{}, err
+	}
+	compute := func(ctx context.Context) ([]byte, error) {
+		cfg := baseCfg
+		tbl := attrib.NewTable()
+		cfg.Attribution = tbl
+		res, err := sim(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := machine.VerifyAttribution(tbl, res); err != nil {
+			return nil, err
+		}
+		rep := attrib.NewReport(tbl, b.Name, colName, res.Config, res.Cycles, res.Retired)
+		return artifact.EncodeSim(&artifact.SimArtifact{Key: key, Result: res, Attrib: rep})
+	}
+	data, _, err := o.Cache.GetOrCompute(ctx, key.Hash(), compute)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	art, err := artifact.DecodeSim(data)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	if o.AttribDir != "" {
+		if art.Attrib == nil {
+			// Stored by a producer that skipped attribution; a live run is
+			// the only way to get the report.
+			return o.runCellLive(ctx, b, colName, baseCfg, sim)
+		}
+		if err := o.writeAttrib(b.Name, colName, art.Attrib); err != nil {
+			return machine.Result{}, err
+		}
+	}
+	return art.Result, nil
+}
+
+// runCellLive simulates one cell with o's observers attached and exports
+// its files.
+func (o Options) runCellLive(ctx context.Context, b *speculate.Bench, colName string, baseCfg machine.Config,
+	sim func(ctx context.Context, cfg machine.Config) (machine.Result, error)) (machine.Result, error) {
+
+	cfg := baseCfg
+	col := o.collector()
+	cfg.Telemetry = col
+	tbl := o.attribTable()
+	cfg.Attribution = tbl
+	res, err := sim(ctx, cfg)
+	if err != nil {
+		return res, err
+	}
+	return res, o.exportCell(b.Name, colName, col, tbl, res)
 }
 
 // fileToken makes a bench/policy name safe as a filename component
@@ -146,6 +274,11 @@ func Benches() ([]*speculate.Bench, error) {
 // BenchesNamed returns the named benchmarks (all of them when names is
 // empty) in figure order, preparing them in parallel on first use.
 func BenchesNamed(names []string) ([]*speculate.Bench, error) {
+	return benchesNamed(Options{}, names)
+}
+
+// benchesNamed prepares the named benchmarks on o's scheduling pool.
+func benchesNamed(o Options, names []string) ([]*speculate.Bench, error) {
 	all := speculate.WorkloadNames()
 	var wanted []string
 	for _, name := range all {
@@ -158,36 +291,49 @@ func BenchesNamed(names []string) ([]*speculate.Bench, error) {
 	}
 	out := make([]*speculate.Bench, len(wanted))
 	errs := make([]error, len(wanted))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, name := range wanted {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = speculate.Load(name)
-			if errs[i] != nil {
-				errs[i] = fmt.Errorf("bench %q: %w", name, errs[i])
-			}
-		}(i, name)
+	pool, owned := o.pool(len(wanted))
+	if owned {
+		defer pool.Close()
 	}
-	wg.Wait()
-	for _, err := range errs {
+	handles := make([]*jobqueue.Handle, len(wanted))
+	for i, name := range wanted {
+		i, name := i, name
+		h, err := submitWait(o.ctx(), pool, jobqueue.Job{
+			ID: "prepare/" + name,
+			Fn: func(ctx context.Context) error {
+				b, err := speculate.Load(name)
+				if err != nil {
+					return err
+				}
+				out[i] = b
+				return nil
+			},
+		})
 		if err != nil {
 			return nil, err
 		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if err := h.Wait(context.Background()); err != nil {
+			errs[i] = fmt.Errorf("job %s: %w", h.ID(), err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// runGrid simulates every (bench, column) pair on a fixed pool of NumCPU
-// workers; colNames label the columns in errors. run must be goroutine-safe
-// across distinct pairs. A worker runs cells to completion one after another,
-// so machine.Run's pooled arenas settle at one per worker instead of
-// churning through however many goroutines the grid is wide.
-func runGrid(benches []*speculate.Bench, colNames []string,
-	run func(b *speculate.Bench, col int) (machine.Result, error)) ([][]machine.Result, error) {
+// runGrid simulates every (bench, column) pair as jobs on the scheduling
+// pool (o.Pool, or an ephemeral pool sized to GOMAXPROCS); colNames label
+// the columns in errors. run must be goroutine-safe across distinct pairs.
+// A worker runs cells to completion one after another, so machine.Run's
+// pooled arenas settle at one per worker instead of churning through
+// however many goroutines the grid is wide. Every failing cell is
+// reported, labeled with its job ID — not just the first.
+func runGrid(o Options, benches []*speculate.Bench, colNames []string,
+	run func(ctx context.Context, b *speculate.Bench, col int) (machine.Result, error)) ([][]machine.Result, error) {
 
 	cols := len(colNames)
 	cells := len(benches) * cols
@@ -196,45 +342,56 @@ func runGrid(benches []*speculate.Bench, colNames []string,
 	for i := range res {
 		res[i] = make([]machine.Result, cols)
 	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > cells {
-		workers = cells
+	pool, owned := o.pool(cells)
+	if owned {
+		defer pool.Close()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				i, c := k/cols, k%cols
-				b := benches[i]
-				r, err := run(b, c)
-				if err != nil {
-					err = fmt.Errorf("bench %q policy %q: %w", b.Name, colNames[c], err)
-				}
-				res[i][c], errs[k] = r, err
-			}
-		}()
-	}
+	handles := make([]*jobqueue.Handle, cells)
 	for k := 0; k < cells; k++ {
-		work <- k
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
+		k := k
+		i, c := k/cols, k%cols
+		b := benches[i]
+		h, err := submitWait(o.ctx(), pool, jobqueue.Job{
+			ID: "cell/" + b.Name + "/" + colNames[c],
+			Fn: func(ctx context.Context) error {
+				r, err := run(ctx, b, c)
+				if err != nil {
+					return err
+				}
+				res[i][c] = r
+				return nil
+			},
+		})
 		if err != nil {
 			return nil, err
 		}
+		handles[k] = h
+	}
+	for k, h := range handles {
+		if err := h.Wait(context.Background()); err != nil {
+			errs[k] = fmt.Errorf("job %s: %w", h.ID(), err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
-// baselines runs the superscalar for every bench, in parallel.
-func baselines(benches []*speculate.Bench) ([]machine.Result, error) {
-	grid, err := runGrid(benches, []string{"superscalar"}, func(b *speculate.Bench, _ int) (machine.Result, error) {
-		return b.RunSuperscalar()
-	})
+// baselines runs the superscalar for every bench, in parallel. Baselines
+// use the cache but never export observer files (matching the historical
+// behavior of figure runs, whose trace/attrib exports cover the PolyFlow
+// cells only).
+func baselines(o Options, benches []*speculate.Bench) ([]machine.Result, error) {
+	bo := o
+	bo.TraceDir, bo.AttribDir = "", ""
+	grid, err := runGrid(bo, benches, []string{"superscalar"},
+		func(ctx context.Context, b *speculate.Bench, _ int) (machine.Result, error) {
+			return bo.runCell(ctx, b, "superscalar", machine.SuperscalarConfig(),
+				func(ctx context.Context, cfg machine.Config) (machine.Result, error) {
+					return b.RunSuperscalarContext(ctx, cfg)
+				})
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -314,9 +471,9 @@ func colWidth(name string) int {
 // speedupTable runs the given policy columns over the selected benchmarks.
 // extra, when non-nil, appends one column computed outside the static
 // policy set (e.g. the dynamic reconvergence predictor); it receives the
-// cell's machine configuration with any telemetry already attached.
+// cell's machine configuration with any observers already attached.
 func speedupTable(title string, policies []core.Policy,
-	extra func(b *speculate.Bench, cfg machine.Config) (machine.Result, error),
+	extra func(ctx context.Context, b *speculate.Bench, cfg machine.Config) (machine.Result, error),
 	extraName string, o Options) (*SpeedupTable, error) {
 
 	var kept []core.Policy
@@ -332,11 +489,11 @@ func speedupTable(title string, policies []core.Policy,
 	if len(policies) == 0 && extra == nil {
 		return nil, fmt.Errorf("harness: no policy matches %q in %s", o.Policies, title)
 	}
-	benches, err := BenchesNamed(o.Benches)
+	benches, err := benchesNamed(o, o.Benches)
 	if err != nil {
 		return nil, err
 	}
-	base, err := baselines(benches)
+	base, err := baselines(o, benches)
 	if err != nil {
 		return nil, err
 	}
@@ -347,24 +504,16 @@ func speedupTable(title string, policies []core.Policy,
 	if extra != nil {
 		colNames = append(colNames, extraName)
 	}
-	grid, err := runGrid(benches, colNames, func(b *speculate.Bench, c int) (machine.Result, error) {
-		cfg := machine.PolyFlowConfig()
-		col := o.collector()
-		cfg.Telemetry = col
-		tbl := o.attribTable()
-		cfg.Attribution = tbl
-		var res machine.Result
-		var err error
-		if c < len(policies) {
-			res, err = b.RunPolicy(policies[c], cfg)
-		} else {
-			res, err = extra(b, cfg)
-		}
-		if err != nil {
-			return res, err
-		}
-		return res, o.exportCell(b.Name, colNames[c], col, tbl, res)
-	})
+	grid, err := runGrid(o, benches, colNames,
+		func(ctx context.Context, b *speculate.Bench, c int) (machine.Result, error) {
+			return o.runCell(ctx, b, colNames[c], machine.PolyFlowConfig(),
+				func(ctx context.Context, cfg machine.Config) (machine.Result, error) {
+					if c < len(policies) {
+						return b.RunPolicyContext(ctx, policies[c], cfg)
+					}
+					return extra(ctx, b, cfg)
+				})
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -419,8 +568,8 @@ func Figure12Opts(o Options) (*SpeedupTable, error) {
 	return speedupTable(
 		"Figure 12: Reconvergence-predictor spawning vs compiler postdominators",
 		[]core.Policy{core.PolicyPostdoms},
-		func(b *speculate.Bench, cfg machine.Config) (machine.Result, error) {
-			return b.RunRecPred(cfg)
+		func(ctx context.Context, b *speculate.Bench, cfg machine.Config) (machine.Result, error) {
+			return b.RunRecPredContext(ctx, cfg)
 		}, "rec_pred", o)
 }
 
@@ -473,11 +622,11 @@ func Figure11() (*LossTable, error) { return Figure11Opts(Options{}) }
 // selects exclusion columns; the postdoms reference always runs because
 // the loss metric is relative to it.
 func Figure11Opts(o Options) (*LossTable, error) {
-	benches, err := BenchesNamed(o.Benches)
+	benches, err := benchesNamed(o, o.Benches)
 	if err != nil {
 		return nil, err
 	}
-	base, err := baselines(benches)
+	base, err := baselines(o, benches)
 	if err != nil {
 		return nil, err
 	}
@@ -494,18 +643,13 @@ func Figure11Opts(o Options) (*LossTable, error) {
 	for i, p := range policies {
 		colNames[i] = p.Name
 	}
-	grid, err := runGrid(benches, colNames, func(b *speculate.Bench, c int) (machine.Result, error) {
-		cfg := machine.PolyFlowConfig()
-		col := o.collector()
-		cfg.Telemetry = col
-		tbl := o.attribTable()
-		cfg.Attribution = tbl
-		res, err := b.RunPolicy(policies[c], cfg)
-		if err != nil {
-			return res, err
-		}
-		return res, o.exportCell(b.Name, colNames[c], col, tbl, res)
-	})
+	grid, err := runGrid(o, benches, colNames,
+		func(ctx context.Context, b *speculate.Bench, c int) (machine.Result, error) {
+			return o.runCell(ctx, b, colNames[c], machine.PolyFlowConfig(),
+				func(ctx context.Context, cfg machine.Config) (machine.Result, error) {
+					return b.RunPolicyContext(ctx, policies[c], cfg)
+				})
+		})
 	if err != nil {
 		return nil, err
 	}

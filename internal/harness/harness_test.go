@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/machine"
 )
@@ -226,19 +228,25 @@ func TestRunGridErrorContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	_, err = runGrid(benches, []string{"ok", "bad"}, func(b *speculate.Bench, c int) (machine.Result, error) {
-		if c == 1 {
-			return machine.Result{}, boom
-		}
-		return machine.Result{}, nil
-	})
+	worse := errors.New("worse")
+	_, err = runGrid(Options{}, benches, []string{"ok", "bad", "awful"},
+		func(ctx context.Context, b *speculate.Bench, c int) (machine.Result, error) {
+			switch c {
+			case 1:
+				return machine.Result{}, boom
+			case 2:
+				return machine.Result{}, worse
+			}
+			return machine.Result{}, nil
+		})
 	if err == nil {
 		t.Fatal("error swallowed")
 	}
-	if !errors.Is(err, boom) {
-		t.Fatalf("wrapped error lost the cause: %v", err)
+	// Every failing cell is reported with its job ID, not just the first.
+	if !errors.Is(err, boom) || !errors.Is(err, worse) {
+		t.Fatalf("joined error lost a cause: %v", err)
 	}
-	for _, want := range []string{`bench "twolf"`, `policy "bad"`} {
+	for _, want := range []string{"job cell/twolf/bad", "job cell/twolf/awful"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q missing context %q", err, want)
 		}
@@ -268,6 +276,49 @@ func TestFigure9OptsFilter(t *testing.T) {
 	}
 	if _, err := Figure9Opts(Options{Policies: []string{"nonesuch"}}); err == nil {
 		t.Fatal("unknown policy filter should error")
+	}
+}
+
+func TestFigureRunsThroughArtifactCache(t *testing.T) {
+	cache, err := artifact.New(artifact.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Benches: []string{"twolf"}, Policies: []string{"postdoms"}, Cache: cache}
+	cold, err := Figure9Opts(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses == 0 {
+		t.Fatalf("cold run recorded no cache misses: %+v", st)
+	}
+	warm, err := Figure9Opts(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := cache.Stats()
+	if st2.Misses != st.Misses {
+		t.Fatalf("warm run missed the cache: cold=%+v warm=%+v", st, st2)
+	}
+	if st2.MemHits+st2.DiskHits == 0 {
+		t.Fatalf("warm run recorded no hits: %+v", st2)
+	}
+	if cold.Format() != warm.Format() {
+		t.Fatalf("cached table differs from fresh:\n%s\nvs\n%s", cold.Format(), warm.Format())
+	}
+	if cold.Results[0][0].Stats != warm.Results[0][0].Stats {
+		t.Fatal("cached machine result differs from fresh")
+	}
+
+	// Cached hits still materialize attribution reports on demand.
+	dir := t.TempDir()
+	o.AttribDir = dir
+	if _, err := Figure9Opts(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "twolf_postdoms.attrib.json")); err != nil {
+		t.Fatalf("attrib report not written from cache hit: %v", err)
 	}
 }
 

@@ -95,6 +95,14 @@ type Config struct {
 	// plots and phase analysis.
 	SampleInterval int64
 
+	// OnSample, when non-nil and SampleInterval is positive, is called at
+	// every sample boundary with the current cycle and retired-instruction
+	// counts — a low-rate progress callback for long runs (polyflowd
+	// streams these as SSE job-progress events). It runs on the simulation
+	// goroutine and must be cheap; it observes the run without affecting
+	// its outcome.
+	OnSample func(cycle, retired int64)
+
 	// Caches; nil selects cachesim.DefaultHierarchy.
 	Caches *cachesim.Hierarchy
 

@@ -1,0 +1,72 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunContextCancellation(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run must abort on its first check
+	res, err := RunContext(ctx, tr, nil, nil, SuperscalarConfig())
+	if err == nil {
+		t.Fatal("canceled run completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled at cycle") {
+		t.Fatalf("err lacks progress context: %v", err)
+	}
+	if res.Retired >= int64(tr.Len()) {
+		t.Fatalf("canceled run retired the whole trace (%d)", res.Retired)
+	}
+}
+
+func TestRunContextNilAndBackgroundMatch(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	a, err := RunContext(context.Background(), tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(nil, tr, nil, nil, SuperscalarConfig()) //lint:ignore SA1012 nil ctx is explicitly supported
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(tr, nil, nil, SuperscalarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Cycles != c.Cycles || a.Stats != b.Stats || a.Stats != c.Stats {
+		t.Fatalf("context plumbing changed timing: bg=%d nil=%d Run=%d", a.Cycles, b.Cycles, c.Cycles)
+	}
+}
+
+func TestOnSampleProgressCallback(t *testing.T) {
+	_, tr, _ := prep(t, hardHammockLoop)
+	cfg := SuperscalarConfig()
+	cfg.SampleInterval = 256
+	var cycles, retires []int64
+	cfg.OnSample = func(cycle, retired int64) {
+		cycles = append(cycles, cycle)
+		retires = append(retires, retired)
+	}
+	res, err := Run(tr, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycles) == 0 {
+		t.Fatal("OnSample never fired")
+	}
+	if len(cycles) != len(res.IPCSamples) {
+		t.Fatalf("OnSample fired %d times, IPCSamples has %d", len(cycles), len(res.IPCSamples))
+	}
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] <= cycles[i-1] || retires[i] < retires[i-1] {
+			t.Fatalf("non-monotonic progress: cycles=%v retires=%v", cycles, retires)
+		}
+	}
+}

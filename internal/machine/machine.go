@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attrib"
@@ -267,6 +268,16 @@ func (s *sim) spawnAllowed(from uint64) bool {
 // source (nil means no spawning — the superscalar). deps may be nil, in
 // which case it is computed here.
 func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result, error) {
+	return RunContext(context.Background(), tr, deps, src, cfg)
+}
+
+// RunContext is Run under a context: the simulation aborts promptly (within
+// ~1k cycles) when ctx is canceled or times out, returning the partial
+// result and a wrapped ctx error. The cancellation check touches the hot
+// loop only on cycle numbers divisible by 1024, so the cost is one
+// predictable branch per cycle; a Background context costs the same and
+// never fires.
+func RunContext(ctx context.Context, tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result, error) {
 	if deps == nil {
 		deps = tr.ComputeDeps()
 	}
@@ -316,10 +327,22 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 		s.emit(telemetry.EvTaskSpawn, 0, int64(s.tasks[0].start), -1)
 	}
 
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done() // capture once; Done() may allocate lazily
+	}
 	for s.retireIdx < n {
 		if s.cycle >= cfg.MaxCycles {
 			return s.result(), fmt.Errorf("machine: exceeded MaxCycles=%d at retireIdx=%d/%d",
 				cfg.MaxCycles, s.retireIdx, n)
+		}
+		if done != nil && s.cycle&1023 == 0 {
+			select {
+			case <-done:
+				return s.result(), fmt.Errorf("machine: run canceled at cycle %d, retireIdx=%d/%d: %w",
+					s.cycle, s.retireIdx, n, ctx.Err())
+			default:
+			}
 		}
 		s.processViolations()
 		s.retire()
@@ -338,6 +361,9 @@ func Run(tr *trace.Trace, deps *trace.Deps, src core.Source, cfg Config) (Result
 		if iv := cfg.SampleInterval; iv > 0 && s.cycle > 0 && s.cycle%iv == 0 {
 			s.samples = append(s.samples, float64(s.retireIdx-s.lastSampleRet)/float64(iv))
 			s.lastSampleRet = s.retireIdx
+			if cfg.OnSample != nil {
+				cfg.OnSample(s.cycle, int64(s.retireIdx))
+			}
 		}
 		// Slow profitability recovery: disabled spawn points get periodic
 		// retries rather than being written off forever.

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/attrib"
+)
+
+// Client is a thin Go client for the polyflowd API; cmd/polyload and the
+// CI smoke job drive the daemon through it.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if raw, ok := out.(*[]byte); ok {
+			*raw = data
+			return resp.StatusCode, nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit posts a job. The returned status is the accepted job (state
+// "queued"); a full queue surfaces as an error wrapping HTTP 429.
+func (c *Client) Submit(ctx context.Context, req Request) (Status, int, error) {
+	var st Status
+	code, err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, code, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every retained job, newest first.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var out []Status
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+	return err
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "succeeded", "failed", "canceled":
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Result fetches and decodes a succeeded job's simulation artifact.
+func (c *Client) Result(ctx context.Context, id string) (*artifact.SimArtifact, error) {
+	var raw []byte
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw); err != nil {
+		return nil, err
+	}
+	return artifact.DecodeSim(raw)
+}
+
+// ResultBytes fetches a succeeded job's raw artifact bytes.
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw)
+	return raw, err
+}
+
+// Attrib fetches a succeeded job's attribution report.
+func (c *Client) Attrib(ctx context.Context, id string) (*attrib.Report, error) {
+	var raw []byte
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/attrib", nil, &raw); err != nil {
+		return nil, err
+	}
+	return attrib.ReadReport(bytes.NewReader(raw))
+}
+
+// AttribBytes fetches the raw report JSON (what the CI smoke job hands to
+// polystat diff).
+func (c *Client) AttribBytes(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/attrib", nil, &raw)
+	return raw, err
+}
+
+// Metrics fetches the plain-text telemetry summary.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var raw []byte
+	_, err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw)
+	return string(raw), err
+}
+
+// Healthy reports whether the server answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	code, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return err == nil && code == http.StatusOK
+}

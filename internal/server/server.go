@@ -1,0 +1,553 @@
+// Package server implements the polyflowd HTTP/JSON simulation service:
+// clients submit (bench, policy) simulation jobs, poll their status, stream
+// progress over SSE, and fetch results and attribution reports. Jobs run on
+// a shared jobqueue pool with reject-when-full backpressure (HTTP 429) and
+// results are memoized in the content-addressed artifact cache, so a warm
+// request is served by decoding stored bytes instead of resimulating.
+//
+// The API surface (all JSON unless noted):
+//
+//	POST   /v1/jobs             submit a job  -> 202, 429 when full, 503 draining
+//	GET    /v1/jobs             list retained jobs, newest first
+//	GET    /v1/jobs/{id}        one job's status
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/result the simulation artifact (polyflow-simart/1)
+//	GET    /v1/jobs/{id}/attrib the attribution report (polyflow-attrib/1)
+//	GET    /v1/jobs/{id}/events SSE stream: state transitions and progress
+//	GET    /metrics             telemetry summary, text/plain
+//	GET    /healthz             200 ok, 503 while draining
+//
+// See docs/SERVICE.md for the full protocol description.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/artifact"
+	"repro/internal/attrib"
+	"repro/internal/jobqueue"
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+)
+
+// ProgressFunc receives simulation progress; it matches the machine
+// Config.OnSample observer hook and is called from the cycle loop.
+type ProgressFunc func(cycle, retired int64)
+
+// Runner computes one job's artifact bytes. The default runner simulates
+// through the artifact cache; tests inject slow or failing runners to
+// exercise backpressure, cancellation and drain without real simulations.
+type Runner func(ctx context.Context, req Request, progress ProgressFunc) (data []byte, cacheHit bool, err error)
+
+// Request is the POST /v1/jobs body.
+type Request struct {
+	// Bench and Policy name the simulation cell, as in `polyflow -bench
+	// -policy` (policy accepts "superscalar", "rec_pred", or any static
+	// spawn policy).
+	Bench  string `json:"bench"`
+	Policy string `json:"policy"`
+	// Priority orders the queue: higher runs first.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS bounds the job's run time in milliseconds when positive.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// SampleInterval, when positive, records an IPC sample (and emits an
+	// SSE progress event) every that many cycles. It is a semantic input:
+	// the samples land in the result artifact, so it participates in the
+	// cache key.
+	SampleInterval int64 `json:"sample_interval,omitempty"`
+}
+
+// Progress is the payload of an SSE progress event.
+type Progress struct {
+	Cycle   int64 `json:"cycle"`
+	Retired int64 `json:"retired"`
+}
+
+// Status describes one job to clients.
+type Status struct {
+	ID         string    `json:"id"`
+	Bench      string    `json:"bench"`
+	Policy     string    `json:"policy"`
+	State      string    `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	CacheHit   bool      `json:"cache_hit"`
+	Submitted  time.Time `json:"submitted_at"`
+	Started    time.Time `json:"started_at"`
+	Finished   time.Time `json:"finished_at"`
+	DurationMS int64     `json:"duration_ms,omitempty"`
+	Progress   *Progress `json:"progress,omitempty"`
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Pool schedules the jobs; nil builds an owned pool with jobqueue
+	// defaults (GOMAXPROCS workers, queue depth 64).
+	Pool *jobqueue.Pool
+	// Cache memoizes simulation artifacts; nil builds a memory-only cache.
+	Cache *artifact.Cache
+	// MaxJobs bounds retained job records; <= 0 selects 4096. When the
+	// bound is hit the oldest terminal record is evicted (running jobs are
+	// never evicted).
+	MaxJobs int
+	// Runner overrides the simulation path (tests). Nil simulates.
+	Runner Runner
+}
+
+// Server is the polyflowd HTTP handler plus its job registry.
+type Server struct {
+	pool    *jobqueue.Pool
+	ownPool bool
+	cache   *artifact.Cache
+	runner  Runner
+	maxJobs int
+	mux     *http.ServeMux
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for listing and eviction
+	seq   int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	benchMu sync.Mutex
+	benches map[string]*benchEntry
+
+	m counters
+}
+
+// counters are the server-side metrics, atomic so handlers and workers can
+// bump them concurrently; /metrics snapshots them into a fresh telemetry
+// registry at dump time.
+type counters struct {
+	httpRequests     atomic.Int64
+	submitted        atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedDraining atomic.Int64
+	succeeded        atomic.Int64
+	failed           atomic.Int64
+	canceled         atomic.Int64
+	cacheHits        atomic.Int64
+	sseStreams       atomic.Int64
+}
+
+type benchEntry struct {
+	once sync.Once
+	b    *speculate.Bench
+	err  error
+}
+
+// New builds the server. Call Close when done; it drains the pool.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		pool:    cfg.Pool,
+		cache:   cfg.Cache,
+		runner:  cfg.Runner,
+		maxJobs: cfg.MaxJobs,
+		jobs:    map[string]*job{},
+		stop:    make(chan struct{}),
+		benches: map[string]*benchEntry{},
+	}
+	if s.pool == nil {
+		s.pool = jobqueue.New(jobqueue.Config{})
+		s.ownPool = true
+	}
+	if s.cache == nil {
+		c, err := artifact.New(artifact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	if s.maxJobs <= 0 {
+		s.maxJobs = 4096
+	}
+	if s.runner == nil {
+		s.runner = s.simulate
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/attrib", s.handleAttrib)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.m.httpRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Pool exposes the scheduling pool, so a daemon can share it with figure
+// regeneration (harness.Options.Pool).
+func (s *Server) Pool() *jobqueue.Pool { return s.pool }
+
+// Cache exposes the artifact cache.
+func (s *Server) Cache() *artifact.Cache { return s.cache }
+
+// Drain stops intake (submissions answer 503) and waits for accepted jobs
+// to finish; when ctx expires first the remainder is canceled. SSE streams
+// are closed. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	return s.pool.Drain(ctx)
+}
+
+// Close drains with no deadline and, when the pool is owned, stops its
+// workers.
+func (s *Server) Close() {
+	s.Drain(context.Background())
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
+
+// bench loads (and memoizes) one prepared benchmark. Preparation replays
+// the workload through the reference emulator, so it is done once per
+// process, not once per job.
+func (s *Server) bench(name string) (*speculate.Bench, error) {
+	s.benchMu.Lock()
+	e, ok := s.benches[name]
+	if !ok {
+		e = &benchEntry{}
+		s.benches[name] = e
+	}
+	s.benchMu.Unlock()
+	e.once.Do(func() { e.b, e.err = speculate.Load(name) })
+	return e.b, e.err
+}
+
+// baseConfig is the canonical machine configuration for the named runnable
+// policy — the same one the harness figure grids use, so server jobs and
+// `experiments -cache-dir` runs share cache entries.
+func baseConfig(policy string) machine.Config {
+	if policy == "superscalar" {
+		return machine.SuperscalarConfig()
+	}
+	return machine.PolyFlowConfig()
+}
+
+// simulate is the default Runner: the canonical simulation pipeline behind
+// the artifact cache. The compute path always attaches attribution, so
+// every stored artifact carries its report; a cache hit decodes to bytes
+// identical to a fresh run (internal/artifact's correctness sweep holds the
+// two paths equal).
+func (s *Server) simulate(ctx context.Context, req Request, progress ProgressFunc) ([]byte, bool, error) {
+	b, err := s.bench(req.Bench)
+	if err != nil {
+		return nil, false, err
+	}
+	baseCfg := baseConfig(req.Policy)
+	baseCfg.SampleInterval = req.SampleInterval
+	key, err := artifact.NewSimKey(b.Name, b.SourceSHA, b.MaxInstrs, req.Policy, baseCfg)
+	if err != nil {
+		return nil, false, err
+	}
+	compute := func(ctx context.Context) ([]byte, error) {
+		cfg := baseCfg
+		if progress != nil {
+			cfg.OnSample = progress
+		}
+		tbl := attrib.NewTable()
+		cfg.Attribution = tbl
+		res, err := b.RunNamedContext(ctx, req.Policy, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := machine.VerifyAttribution(tbl, res); err != nil {
+			return nil, err
+		}
+		rep := attrib.NewReport(tbl, b.Name, req.Policy, res.Config, res.Cycles, res.Retired)
+		return artifact.EncodeSim(&artifact.SimArtifact{Key: key, Result: res, Attrib: rep})
+	}
+	return s.cache.GetOrCompute(ctx, key.Hash(), compute)
+}
+
+// validate rejects malformed requests before they consume a queue slot.
+func validate(req Request) error {
+	okBench := false
+	for _, n := range speculate.WorkloadNames() {
+		if n == req.Bench {
+			okBench = true
+			break
+		}
+	}
+	if !okBench {
+		return fmt.Errorf("unknown bench %q (have %v)", req.Bench, speculate.WorkloadNames())
+	}
+	okPolicy := false
+	for _, n := range speculate.PolicyNames() {
+		if n == req.Policy {
+			okPolicy = true
+			break
+		}
+	}
+	if !okPolicy {
+		return fmt.Errorf("unknown policy %q (have %v)", req.Policy, speculate.PolicyNames())
+	}
+	if req.SampleInterval < 0 {
+		return fmt.Errorf("negative sample_interval %d", req.SampleInterval)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if err := validate(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := s.register(req)
+	h, err := s.pool.Submit(jobqueue.Job{
+		ID:       j.id,
+		Priority: req.Priority,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Fn: func(ctx context.Context) error {
+			j.setRunning()
+			data, hit, err := s.runner(ctx, req, j.onProgress)
+			if err != nil {
+				return err
+			}
+			j.setResult(data, hit)
+			if hit {
+				s.m.cacheHits.Add(1)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		s.unregister(j.id)
+		switch {
+		case errors.Is(err, jobqueue.ErrQueueFull):
+			s.m.rejectedFull.Add(1)
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, jobqueue.ErrDraining):
+			s.m.rejectedDraining.Add(1)
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	j.handle = h
+	s.m.submitted.Add(1)
+	go s.watch(j)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// watch finalizes the record when the pool settles the job, counting the
+// outcome and closing event streams.
+func (s *Server) watch(j *job) {
+	<-j.handle.Done()
+	switch j.handle.State() {
+	case jobqueue.Succeeded:
+		s.m.succeeded.Add(1)
+	case jobqueue.Canceled:
+		s.m.canceled.Add(1)
+	default:
+		s.m.failed.Add(1)
+	}
+	j.finish(j.handle.State(), j.handle.Err())
+}
+
+// register allocates a job record, evicting the oldest terminal record
+// beyond the retention bound.
+func (s *Server) register(req Request) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d-%s-%s", s.seq, req.Bench, req.Policy), req)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > s.maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			old := s.jobs[id]
+			if old.terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything retained is still live
+		}
+	}
+	return j
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, s.jobs[s.order[i]].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if j.handle != nil {
+		j.handle.Cancel()
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	data, st := j.result()
+	if st != jobqueue.Succeeded {
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s, result available once succeeded", st))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	data, st := j.result()
+	if st != jobqueue.Succeeded {
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s, report available once succeeded", st))
+		return
+	}
+	art, err := artifact.DecodeSim(data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if art.Attrib == nil {
+		writeError(w, http.StatusNotFound, errors.New("artifact carries no attribution report"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	art.Attrib.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	status := "ok"
+	code := http.StatusOK
+	if st.Draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"queued":  st.Queued,
+		"running": st.Running,
+	})
+}
+
+// handleMetrics renders the server, pool and cache metrics as a telemetry
+// summary. The atomics are snapshotted into a fresh registry at dump time —
+// registry counters themselves are single-writer and must not be bumped
+// from concurrent handlers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := telemetry.NewRegistry()
+	set := func(name string, v int64) { c := reg.Counter(name); c.Add(v) }
+	set("server.http.requests", s.m.httpRequests.Load())
+	set("server.jobs.submitted", s.m.submitted.Load())
+	set("server.jobs.rejected_full", s.m.rejectedFull.Load())
+	set("server.jobs.rejected_draining", s.m.rejectedDraining.Load())
+	set("server.jobs.succeeded", s.m.succeeded.Load())
+	set("server.jobs.failed", s.m.failed.Load())
+	set("server.jobs.canceled", s.m.canceled.Load())
+	set("server.jobs.cache_hits", s.m.cacheHits.Load())
+	set("server.sse.streams", s.m.sseStreams.Load())
+
+	ps := s.pool.Stats()
+	reg.Gauge("pool.workers").Set(int64(ps.Workers))
+	reg.Gauge("pool.queued").Set(int64(ps.Queued))
+	reg.Gauge("pool.running").Set(int64(ps.Running))
+	set("pool.succeeded", ps.Succeeded)
+	set("pool.failed", ps.Failed)
+	set("pool.canceled", ps.Canceled)
+	set("pool.rejected", ps.Rejected)
+
+	cs := s.cache.Stats()
+	set("cache.mem_hits", cs.MemHits)
+	set("cache.disk_hits", cs.DiskHits)
+	set("cache.misses", cs.Misses)
+	set("cache.evictions", cs.Evictions)
+	reg.Gauge("cache.mem_entries").Set(int64(cs.MemEntries))
+	reg.Gauge("cache.mem_bytes").Set(cs.MemBytes)
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	reg.WriteSummary(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -18,9 +18,11 @@
 package speculate
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -39,6 +41,14 @@ type Bench struct {
 	Trace    *trace.Trace
 	Deps     *trace.Deps
 	Analysis *core.Analysis
+
+	// SourceSHA is the hex SHA-256 of the assembly source, and MaxInstrs
+	// the emulation bound, for benches prepared from a registered workload
+	// — together they are the bench's identity in the artifact cache
+	// (internal/artifact). SourceSHA is empty for ad-hoc Prepare'd
+	// programs, which are therefore uncacheable.
+	SourceSHA string
+	MaxInstrs int
 }
 
 // Assemble assembles source text into a program image.
@@ -64,11 +74,12 @@ func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
 		return nil, fmt.Errorf("speculate: analyzing %s: %w", name, err)
 	}
 	return &Bench{
-		Name:     name,
-		Prog:     prog,
-		Trace:    tr,
-		Deps:     tr.ComputeDeps(),
-		Analysis: an,
+		Name:      name,
+		Prog:      prog,
+		Trace:     tr,
+		Deps:      tr.ComputeDeps(),
+		Analysis:  an,
+		MaxInstrs: maxInstrs,
 	}, nil
 }
 
@@ -92,6 +103,7 @@ func Load(name string) (*Bench, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.SourceSHA = artifact.SourceSHA(w.Source)
 	benchCache[name] = b
 	return b, nil
 }
@@ -123,15 +135,26 @@ func (b *Bench) RunSuperscalar() (machine.Result, error) {
 // RunSuperscalarConfig simulates the superscalar baseline under a custom
 // configuration — e.g. with a telemetry Collector attached.
 func (b *Bench) RunSuperscalarConfig(cfg machine.Config) (machine.Result, error) {
+	return b.RunSuperscalarContext(context.Background(), cfg)
+}
+
+// RunSuperscalarContext is RunSuperscalarConfig under a context: the
+// simulation aborts promptly when ctx is canceled or times out.
+func (b *Bench) RunSuperscalarContext(ctx context.Context, cfg machine.Config) (machine.Result, error) {
 	b.fillWarmup(&cfg)
-	return machine.Run(b.Trace, b.Deps, nil, cfg)
+	return machine.RunContext(ctx, b.Trace, b.Deps, nil, cfg)
 }
 
 // RunPolicy simulates PolyFlow with the given static spawn policy.
 func (b *Bench) RunPolicy(p core.Policy, cfg machine.Config) (machine.Result, error) {
+	return b.RunPolicyContext(context.Background(), p, cfg)
+}
+
+// RunPolicyContext is RunPolicy under a context.
+func (b *Bench) RunPolicyContext(ctx context.Context, p core.Policy, cfg machine.Config) (machine.Result, error) {
 	cfg.Name = fmt.Sprintf("%s/%s", cfg.Name, p.Name)
 	b.fillWarmup(&cfg)
-	return machine.Run(b.Trace, b.Deps, p.Source(b.Analysis), cfg)
+	return machine.RunContext(ctx, b.Trace, b.Deps, p.Source(b.Analysis), cfg)
 }
 
 // PolicyNames lists every runnable configuration name accepted by RunNamed:
@@ -166,6 +189,13 @@ func allPolicies() []core.Policy {
 // reconvergence predictor, and any static policy name the corresponding
 // spawn source; the two PolyFlow forms take cfg as the machine configuration.
 func (b *Bench) RunNamed(name string, cfg machine.Config) (machine.Result, error) {
+	return b.RunNamedContext(context.Background(), name, cfg)
+}
+
+// RunNamedContext is RunNamed under a context: cancellation and timeouts
+// propagate into the cycle loop (polyflow -timeout and polyflowd job
+// deadlines ride on this).
+func (b *Bench) RunNamedContext(ctx context.Context, name string, cfg machine.Config) (machine.Result, error) {
 	switch name {
 	case "superscalar":
 		ss := machine.SuperscalarConfig()
@@ -173,15 +203,17 @@ func (b *Bench) RunNamed(name string, cfg machine.Config) (machine.Result, error
 		ss.Attribution = cfg.Attribution
 		ss.PolledScheduler = cfg.PolledScheduler
 		ss.WarmupInstrs = cfg.WarmupInstrs
-		return b.RunSuperscalarConfig(ss)
+		ss.SampleInterval = cfg.SampleInterval
+		ss.OnSample = cfg.OnSample
+		return b.RunSuperscalarContext(ctx, ss)
 	case "rec_pred":
-		return b.RunRecPred(cfg)
+		return b.RunRecPredContext(ctx, cfg)
 	default:
 		p, ok := PolicyByName(name)
 		if !ok {
 			return machine.Result{}, fmt.Errorf("speculate: unknown policy %q (have %v)", name, PolicyNames())
 		}
-		return b.RunPolicy(p, cfg)
+		return b.RunPolicyContext(ctx, p, cfg)
 	}
 }
 
@@ -189,10 +221,15 @@ func (b *Bench) RunNamed(name string, cfg machine.Config) (machine.Result, error
 // the spawn source (Section 4.4): the predictor starts cold and trains on
 // the retirement stream, so warm-up effects are modeled.
 func (b *Bench) RunRecPred(cfg machine.Config) (machine.Result, error) {
+	return b.RunRecPredContext(context.Background(), cfg)
+}
+
+// RunRecPredContext is RunRecPred under a context.
+func (b *Bench) RunRecPredContext(ctx context.Context, cfg machine.Config) (machine.Result, error) {
 	cfg.Name = cfg.Name + "/rec_pred"
 	b.fillWarmup(&cfg)
 	src := reconv.NewSource(reconv.New(reconv.DefaultConfig()), b.Prog)
-	return machine.Run(b.Trace, b.Deps, src, cfg)
+	return machine.RunContext(ctx, b.Trace, b.Deps, src, cfg)
 }
 
 // SpeedupPct returns the percent speedup of res over base, using cycle
