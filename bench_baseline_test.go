@@ -38,8 +38,11 @@ type benchRecord struct {
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
 }
 
+// benchHistory keeps existing entries as raw JSON: the file also holds
+// entries written by other tools (cmd/polyload's service records), whose
+// fields must survive a baseline append untouched.
 type benchHistory struct {
-	History []benchRecord `json:"history"`
+	History []json.RawMessage `json:"history"`
 }
 
 func TestWriteBenchBaseline(t *testing.T) {
@@ -71,6 +74,9 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Benchmarks: map[string]benchEntry{
 			"SimulatorThroughput": measure(BenchmarkSimulatorThroughput),
 			"Figure9":             measure(BenchmarkFigure9),
+			"TraceReplay":         measure(BenchmarkTraceReplay),
+			"GridPerCell":         measure(BenchmarkGridPerCell),
+			"GridBatched":         measure(BenchmarkGridBatched),
 		},
 	}
 
@@ -81,7 +87,11 @@ func TestWriteBenchBaseline(t *testing.T) {
 			t.Fatalf("corrupt %s: %v", path, err)
 		}
 	}
-	hist.History = append(hist.History, rec)
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.History = append(hist.History, raw)
 	data, err := json.MarshalIndent(&hist, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@
 //	experiments -fig 9 -bench twolf -policy postdoms -trace-dir out/
 //	experiments -fig 9 -attrib-dir attrib/
 //	experiments -cache-dir ~/.cache/polyflow   # reruns hit the artifact cache
+//	experiments -trace-cache ~/.cache/polyflow # decode each workload's trace once
 //
 // -bench and -policy take comma-separated lists and narrow the grid to the
 // named cells; -trace-dir attaches telemetry to every simulated cell and
@@ -34,12 +35,13 @@ import (
 )
 
 var (
-	format   = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
-	bench    = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
-	policy   = flag.String("policy", "", "comma-separated policy filter (default: all)")
-	traces   = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
-	attribs  = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
-	cacheDir = flag.String("cache-dir", "", "memoize simulations in a content-addressed artifact cache rooted at this directory")
+	format        = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
+	bench         = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
+	policy        = flag.String("policy", "", "comma-separated policy filter (default: all)")
+	traces        = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
+	attribs       = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
+	cacheDir      = flag.String("cache-dir", "", "memoize simulations in a content-addressed artifact cache rooted at this directory")
+	traceCacheDir = flag.String("trace-cache", "", "store workload traces as polyflow-trace/1 artifacts in a cache rooted at this directory (decode once, simulate many; defaults to -cache-dir when set)")
 )
 
 func main() {
@@ -101,6 +103,15 @@ func options() (harness.Options, error) {
 			return o, err
 		}
 		o.Cache = cache
+	}
+	if *traceCacheDir != "" {
+		// The trace cache falls back to o.Cache when unset, so this flag
+		// only matters for a separate trace-artifact directory.
+		cache, err := artifact.New(artifact.Options{Dir: *traceCacheDir})
+		if err != nil {
+			return o, err
+		}
+		o.TraceCache = cache
 	}
 	return o, nil
 }

@@ -9,6 +9,8 @@
 //	polyflow -bench twolf -policy postdoms -trace twolf.trace.json -metrics
 //	polyflow -bench gzip -policy postdoms -attrib gzip.attrib.json
 //	polyflow -bench gcc -policy postdoms -timeout 30s
+//	polyflow -bench gzip -trace-out gzip.trace
+//	polyflow -bench gzip -policy loop -trace-in gzip.trace
 //	polyflow -list
 //
 // -trace writes the run's cycle timeline as Chrome trace-event JSON (open
@@ -42,6 +44,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics summary after the run")
 	attribFile := flag.String("attrib", "", "write the per-spawn-site attribution report as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write the workload's binary trace artifact (polyflow-trace/1) to this file")
+	traceIn := flag.String("trace-in", "", "load the workload's trace from this polyflow-trace/1 file instead of emulating (as written by -trace-out or served by GET /v1/traces)")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (e.g. 30s; 0 = no limit)")
 	list := flag.Bool("list", false, "list workloads and policies")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
@@ -73,7 +77,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile); err != nil {
+	if err := run(ctx, *benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile, *traceOut, *traceIn); err != nil {
 		fmt.Fprintln(os.Stderr, "polyflow:", err)
 		os.Exit(1)
 	}
@@ -93,10 +97,30 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile string) error {
-	b, err := speculate.Load(benchName)
+func run(ctx context.Context, benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile, traceOut, traceIn string) error {
+	var b *speculate.Bench
+	var err error
+	if traceIn != "" {
+		data, rerr := os.ReadFile(traceIn)
+		if rerr != nil {
+			return rerr
+		}
+		b, err = speculate.LoadFromTraceData(benchName, data)
+	} else {
+		b, err = speculate.Load(benchName)
+	}
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		data, err := b.EncodeTrace()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  trace artifact written to %s (%d bytes, replay with -trace-in)\n", traceOut, len(data))
 	}
 	fmt.Printf("%s: %d static instrs, %d dynamic instrs, %d spawn points\n",
 		b.Name, len(b.Prog.Code), b.Trace.Len(), len(b.Analysis.Spawns))

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -151,7 +152,7 @@ func run(addr string, clients, requests int, benches, policies []string, cacheDi
 	// Sequential warm pass: the same cells under the same (one-at-a-time)
 	// conditions as the cold pass, so warm/cold is an apples-to-apples
 	// cache speedup, not a concurrency artifact.
-	var warmSeqTotal time.Duration
+	var warmSeqLats []time.Duration
 	for _, cl := range cells {
 		lat, hit, err := submitAndWait(ctx, c, server.Request{Bench: cl.bench, Policy: cl.policy})
 		if err != nil {
@@ -161,9 +162,9 @@ func run(addr string, clients, requests int, benches, policies []string, cacheDi
 			fmt.Printf("note: warm %s/%s missed the cache\n", cl.bench, cl.policy)
 		}
 		fmt.Printf("warm  %-10s %-12s %8.1fms\n", cl.bench, cl.policy, lat.Seconds()*1e3)
-		warmSeqTotal += lat
+		warmSeqLats = append(warmSeqLats, lat)
 	}
-	warmSeqMean := warmSeqTotal / time.Duration(len(cells))
+	warmSeq := latencyStats(warmSeqLats)
 
 	// Concurrent warm phase: N clients × M requests over the same cells,
 	// all served from the cache — the steady-state throughput measurement.
@@ -208,13 +209,7 @@ func run(addr string, clients, requests int, benches, policies []string, cacheDi
 			hits++
 		}
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) time.Duration { return lats[int(p*float64(total-1))] }
-	var warmTotal time.Duration
-	for _, l := range lats {
-		warmTotal += l
-	}
-	warmMean := warmTotal / time.Duration(total)
+	conc := latencyStats(lats)
 	rps := float64(total) / warmWall.Seconds()
 	hitRate := float64(hits) / float64(total)
 
@@ -222,23 +217,64 @@ func run(addr string, clients, requests int, benches, policies []string, cacheDi
 	fmt.Printf("  throughput     %8.1f req/s\n", rps)
 	fmt.Printf("  cache hit rate %8.1f%%\n", 100*hitRate)
 	fmt.Printf("  latency mean   %8.2fms  p50 %.2fms  p95 %.2fms  max %.2fms\n",
-		warmMean.Seconds()*1e3, pct(0.50).Seconds()*1e3, pct(0.95).Seconds()*1e3, lats[total-1].Seconds()*1e3)
-	speedup := float64(coldMean) / float64(warmSeqMean)
+		conc.mean.Seconds()*1e3, conc.p50.Seconds()*1e3, conc.p95.Seconds()*1e3, conc.max.Seconds()*1e3)
+	speedup := float64(coldMean) / float64(warmSeq.mean)
 	fmt.Printf("  cold mean      %8.2fms  warm mean %.2fms (sequential) -> warm is %.1fx faster\n",
-		coldMean.Seconds()*1e3, warmSeqMean.Seconds()*1e3, speedup)
+		coldMean.Seconds()*1e3, warmSeq.mean.Seconds()*1e3, speedup)
 	if speedup < 10 {
 		fmt.Printf("  WARNING: warm/cold speedup %.1fx below the 10x service target\n", speedup)
 	}
 
 	if record {
-		return recordBench(rps, hitRate, coldMean, warmSeqMean, pct(0.50), pct(0.95))
+		return recordBench(rps, hitRate, coldMean, warmSeq, conc)
 	}
 	return nil
 }
 
+// latStats summarizes one phase's latency samples. Every statistic comes
+// from the same sample set — mixing phases once produced a recorded p50
+// above the mean, which is how the mismatch was caught.
+type latStats struct {
+	mean, p50, p95, max time.Duration
+}
+
+// latencyStats computes mean and nearest-rank percentiles over a copy of
+// the samples; the input order is preserved.
+func latencyStats(lats []time.Duration) latStats {
+	if len(lats) == 0 {
+		return latStats{}
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var total time.Duration
+	for _, l := range s {
+		total += l
+	}
+	n := len(s)
+	pct := func(p float64) time.Duration {
+		// Nearest-rank: the smallest sample with at least p of the mass at
+		// or below it.
+		idx := int(math.Ceil(p*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return s[idx]
+	}
+	return latStats{
+		mean: total / time.Duration(n),
+		p50:  pct(0.50),
+		p95:  pct(0.95),
+		max:  s[n-1],
+	}
+}
+
 // recordBench appends the service measurements to BENCH_simulator.json,
-// following the file's history-of-entries shape.
-func recordBench(rps, hitRate float64, coldMean, warmMean, p50, p95 time.Duration) error {
+// following the file's history-of-entries shape. The sequential and
+// concurrent warm phases are recorded as separate, internally consistent
+// sample sets: warm_mean/p50/p95 all come from the concurrent phase, and
+// the warm/cold speedup from the sequential phase, so no statistic mixes
+// phases (a p50 above the mean in an earlier entry came from exactly that).
+func recordBench(rps, hitRate float64, coldMean time.Duration, warmSeq, conc latStats) error {
 	const path = "BENCH_simulator.json"
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -257,10 +293,11 @@ func recordBench(rps, hitRate float64, coldMean, warmMean, p50, p95 time.Duratio
 			"warm_req_per_sec": round1(rps),
 			"cache_hit_rate":   round3(hitRate),
 			"cold_mean_ms":     round2(coldMean.Seconds() * 1e3),
-			"warm_mean_ms":     round2(warmMean.Seconds() * 1e3),
-			"warm_p50_ms":      round2(p50.Seconds() * 1e3),
-			"warm_p95_ms":      round2(p95.Seconds() * 1e3),
-			"warm_over_cold_x": round1(float64(coldMean) / float64(warmMean)),
+			"warm_mean_ms":     round2(conc.mean.Seconds() * 1e3),
+			"warm_p50_ms":      round2(conc.p50.Seconds() * 1e3),
+			"warm_p95_ms":      round2(conc.p95.Seconds() * 1e3),
+			"warm_seq_mean_ms": round2(warmSeq.mean.Seconds() * 1e3),
+			"warm_over_cold_x": round1(float64(coldMean) / float64(warmSeq.mean)),
 		},
 	}
 	doc["history"] = append(history, entry)

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyStats pins the phase-statistics helper on a synthetic vector
+// where every answer is computable by hand. The recorded service entry
+// once showed warm_p50_ms > warm_mean_ms because the mean came from one
+// phase and the percentiles from another; keeping the helper pure (one
+// sample set in, all statistics out) makes that class of bug impossible.
+func TestLatencyStats(t *testing.T) {
+	// 1ms..100ms in shuffled-ish order: latencyStats must sort a copy.
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration((i*37)%100+1) * time.Millisecond
+	}
+	got := latencyStats(lats)
+	if want := 50500 * time.Microsecond; got.mean != want {
+		t.Errorf("mean = %v, want %v", got.mean, want)
+	}
+	// Nearest-rank over n=100: p50 is the 50th sample (50ms), p95 the 95th.
+	if want := 50 * time.Millisecond; got.p50 != want {
+		t.Errorf("p50 = %v, want %v", got.p50, want)
+	}
+	if want := 95 * time.Millisecond; got.p95 != want {
+		t.Errorf("p95 = %v, want %v", got.p95, want)
+	}
+	if want := 100 * time.Millisecond; got.max != want {
+		t.Errorf("max = %v, want %v", got.max, want)
+	}
+	if got.p50 > got.mean+got.mean/2 {
+		t.Errorf("p50 %v implausibly above mean %v for a uniform vector", got.p50, got.mean)
+	}
+	// The input must not be reordered (callers print samples in order).
+	for i := range lats {
+		if lats[i] != time.Duration((i*37)%100+1)*time.Millisecond {
+			t.Fatalf("input slice mutated at %d", i)
+		}
+	}
+}
+
+func TestLatencyStatsEdgeCases(t *testing.T) {
+	if got := latencyStats(nil); got != (latStats{}) {
+		t.Errorf("empty input: got %+v, want zero", got)
+	}
+	one := latencyStats([]time.Duration{7 * time.Millisecond})
+	if one.mean != 7*time.Millisecond || one.p50 != 7*time.Millisecond ||
+		one.p95 != 7*time.Millisecond || one.max != 7*time.Millisecond {
+		t.Errorf("single sample: got %+v", one)
+	}
+	two := latencyStats([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	if two.p50 != 10*time.Millisecond {
+		t.Errorf("n=2 p50 = %v, want 10ms (nearest rank)", two.p50)
+	}
+	if two.p95 != 20*time.Millisecond {
+		t.Errorf("n=2 p95 = %v, want 20ms", two.p95)
+	}
+	if two.mean != 15*time.Millisecond {
+		t.Errorf("n=2 mean = %v, want 15ms", two.mean)
+	}
+}

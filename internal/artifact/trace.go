@@ -1,0 +1,54 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// TraceKeySchema identifies the trace-artifact key layout. A trace artifact
+// is keyed by the semantic emulator inputs only — workload identity, source
+// hash, emulation bound — never by policy or machine configuration: the
+// same stored trace feeds every policy replay (decode once, simulate many).
+const TraceKeySchema = "polyflow-trace-key/1"
+
+// TraceKey is the canonical identity of one functional-emulation product:
+// the retired trace plus its occurrence and dependence indexes, serialized
+// in the internal/tracestore binary format (polyflow-trace/1). The stored
+// payload is the raw tracestore byte stream — its own magic, version, and
+// per-frame checksums make a separate envelope redundant.
+type TraceKey struct {
+	Schema    string `json:"schema"`
+	Workload  string `json:"workload"`
+	SourceSHA string `json:"source_sha"`
+	MaxInstrs int    `json:"max_instrs"`
+}
+
+// NewTraceKey builds the key for the named workload's emulation product.
+// It fails with ErrUncacheable when sourceSHA is empty (a bench prepared
+// from unregistered source has no stable identity).
+func NewTraceKey(workload, sourceSHA string, maxInstrs int) (TraceKey, error) {
+	if sourceSHA == "" {
+		return TraceKey{}, fmt.Errorf("%w: bench %q has no source hash", ErrUncacheable, workload)
+	}
+	return TraceKey{
+		Schema:    TraceKeySchema,
+		Workload:  workload,
+		SourceSHA: sourceSHA,
+		MaxInstrs: maxInstrs,
+	}, nil
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its canonical
+// JSON serialization. Trace and simulation keys can never collide — their
+// Schema fields differ.
+func (k TraceKey) Hash() string {
+	data, err := json.Marshal(k)
+	if err != nil {
+		// TraceKey is a struct of strings and ints; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

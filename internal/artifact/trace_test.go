@@ -1,0 +1,50 @@
+package artifact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestTraceKeyHashStable(t *testing.T) {
+	k1, err := NewTraceKey("gzip", "abc123", 1_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := NewTraceKey("gzip", "abc123", 1_500_000)
+	if k1.Hash() != k2.Hash() {
+		t.Fatal("identical trace keys hash differently")
+	}
+	for _, other := range []TraceKey{
+		{Schema: TraceKeySchema, Workload: "mcf", SourceSHA: "abc123", MaxInstrs: 1_500_000},
+		{Schema: TraceKeySchema, Workload: "gzip", SourceSHA: "def456", MaxInstrs: 1_500_000},
+		{Schema: TraceKeySchema, Workload: "gzip", SourceSHA: "abc123", MaxInstrs: 1},
+	} {
+		if other.Hash() == k1.Hash() {
+			t.Fatalf("distinct key %+v collides", other)
+		}
+	}
+}
+
+func TestTraceKeyUncacheable(t *testing.T) {
+	if _, err := NewTraceKey("gzip", "", 100); !errors.Is(err, ErrUncacheable) {
+		t.Fatalf("empty source hash: got %v, want ErrUncacheable", err)
+	}
+}
+
+func TestTraceKeyDisjointFromSimKey(t *testing.T) {
+	// The same semantic inputs must address different artifacts for the
+	// trace product and any simulation product.
+	tk, err := NewTraceKey("gzip", "abc123", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := NewSimKey("gzip", "abc123", 100, "postdoms", machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Hash() == sk.Hash() {
+		t.Fatal("trace key collides with sim key")
+	}
+}

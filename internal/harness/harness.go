@@ -58,6 +58,20 @@ type Options struct {
 	// decode the stored result (byte-identical to a fresh run; see
 	// internal/artifact). Cells that export traces bypass it.
 	Cache *artifact.Cache
+	// TraceCache, when non-nil, backs benchmark preparation with stored
+	// polyflow-trace/1 artifacts (internal/tracestore): each workload's
+	// trace is fetched or emulated once and every policy column replays
+	// the shared immutable trace. Nil falls back to Cache, so one
+	// -cache-dir serves both artifact kinds.
+	TraceCache *artifact.Cache
+}
+
+// traceCache returns the cache backing benchmark preparation.
+func (o Options) traceCache() *artifact.Cache {
+	if o.TraceCache != nil {
+		return o.TraceCache
+	}
+	return o.Cache
 }
 
 // ctx returns the grid context.
@@ -301,7 +315,7 @@ func benchesNamed(o Options, names []string) ([]*speculate.Bench, error) {
 		h, err := submitWait(o.ctx(), pool, jobqueue.Job{
 			ID: "prepare/" + name,
 			Fn: func(ctx context.Context) error {
-				b, err := speculate.Load(name)
+				b, _, err := speculate.LoadCached(name, o.traceCache())
 				if err != nil {
 					return err
 				}

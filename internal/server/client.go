@@ -158,6 +158,14 @@ func (c *Client) AttribBytes(ctx context.Context, id string) ([]byte, error) {
 	return raw, err
 }
 
+// Trace fetches a workload's serialized polyflow-trace/1 artifact —
+// feedable to `polyflow -trace-in` or speculate.LoadFromTraceData.
+func (c *Client) Trace(ctx context.Context, bench string) ([]byte, error) {
+	var raw []byte
+	_, err := c.do(ctx, http.MethodGet, "/v1/traces/"+bench, nil, &raw)
+	return raw, err
+}
+
 // Metrics fetches the plain-text telemetry summary.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	var raw []byte

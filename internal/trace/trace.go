@@ -87,6 +87,21 @@ func (t *Trace) buildIndex() {
 	})
 }
 
+// RestoreIndex installs a precomputed per-PC occurrence index, as decoded
+// from a trace-store artifact (internal/tracestore), so a replayed trace
+// skips the O(n) rebuild. The caller must pass exactly the index that
+// buildIndex would derive from Entries: per-PC ascending occurrence lists.
+// It reports whether the index was installed; false means one was already
+// built (or restored) and the argument was discarded.
+func (t *Trace) RestoreIndex(occ map[uint64][]int32) bool {
+	installed := false
+	t.occOnce.Do(func() {
+		t.occ = occ
+		installed = true
+	})
+	return installed
+}
+
 // NextOccurrence returns the smallest trace index > after at which pc
 // retires, or -1 when pc never retires again. This is the oracle the Task
 // Spawn Unit uses to place a spawned task on the correct path.

@@ -1,0 +1,148 @@
+// Package tracestore serializes the functional emulator's products — the
+// retired instruction trace, its per-PC occurrence index, and the
+// last-writer dependence information — into a compact, versioned,
+// checksummed binary format, so a workload is decoded once and every
+// policy replay thereafter streams the stored bytes instead of re-running
+// the emulator (ROADMAP item 2: decode-once, simulate-many).
+//
+// # Format: polyflow-trace/1
+//
+// A trace file is a 5-byte header ("PFTR" + version byte) followed by a
+// sequence of frames, each
+//
+//	kind byte | uvarint itemCount | uvarint payloadLen | payload | crc32c(payload)
+//
+// in strict kind order: any number of entry frames ('E'), then occurrence
+// frames ('O'), then dependence frames ('D'), then exactly one end frame
+// ('Z') whose itemCount is the total entry count, then EOF. Every frame's
+// payload is bounded (the writer targets ~256 KiB, the reader rejects
+// anything over maxFramePayload), so a corrupt length can never provoke an
+// unbounded allocation.
+//
+// Entry frames hold up to chunkEntries entries, delta-encoded with the
+// previous-PC and previous-address state reset at each frame boundary:
+// per entry a flags byte, an opcode byte, zigzag-varint PC and
+// next-PC deltas (next relative to PC+4, the fallthrough), then — only for
+// loads and stores — a width byte and a zigzag-varint address delta, then
+// — only when the entry writes a register — the destination byte, then a
+// source count byte and that many source registers. The encoding is
+// injective over traces the emulator can produce (the writer rejects
+// entries carrying values the format would drop, such as an effective
+// address on a non-memory op), so decode∘encode is the identity and
+// encode∘decode is byte-identical — the property FuzzTraceCodec pins.
+//
+// Occurrence frames serialize the per-PC occurrence index as strictly
+// ascending PCs (varint deltas, absolute at each frame start), each with
+// its ascending occurrence-index list (absolute first index, then varint
+// deltas). Dependence frames serialize, for entry i, the producing trace
+// index of each register source and (for loads) of the most recent
+// overlapping store, as zigzag varints relative to i. The eager reader
+// cross-validates both against the decoded entries, so a successful Load
+// always yields exactly the index and dependence information the emulator
+// would have derived; the checksums guard integrity, not authenticity —
+// the artifact cache's content addressing covers the rest.
+//
+// See docs/PERFORMANCE.md ("Trace replay") for how the store fits the
+// batched multi-policy run path, and docs/SERVICE.md for the artifact kind
+// and the daemon's GET /v1/traces/{bench} endpoint.
+package tracestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Schema names the on-disk format, as referenced by the artifact store and
+// the service API. Bump the trailing version (and the header version byte)
+// on any incompatible layout change — the golden-format test fails
+// otherwise.
+const Schema = "polyflow-trace/1"
+
+// Header bytes: magic then version.
+var magic = [4]byte{'P', 'F', 'T', 'R'}
+
+const version = 1
+
+// Frame kinds, in required stream order.
+const (
+	kindEntries byte = 'E'
+	kindOcc     byte = 'O'
+	kindDeps    byte = 'D'
+	kindEnd     byte = 'Z'
+)
+
+const (
+	// chunkEntries bounds entries per 'E' frame; delta state resets at
+	// each frame so a frame decodes independently of its predecessors.
+	chunkEntries = 4096
+	// frameTarget is the writer's payload flush threshold for the
+	// variable-length 'O' and 'D' sections.
+	frameTarget = 256 << 10
+	// maxFramePayload is the reader-side hard cap on a declared payload
+	// length; a corrupted length field fails fast instead of allocating.
+	maxFramePayload = 4 << 20
+)
+
+// ErrCorrupt reports a malformed, truncated, or checksum-failing stream.
+// Every decode failure wraps it; decoding never panics on bad input.
+var ErrCorrupt = errors.New("tracestore: corrupt or truncated trace")
+
+// ErrUnencodable reports an input trace carrying state the format cannot
+// represent (for example a non-memory entry with an effective address) —
+// encoding it would not round-trip, so the writer refuses.
+var ErrUnencodable = errors.New("tracestore: trace not representable in polyflow-trace/1")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// zigzag maps signed to unsigned so small-magnitude deltas stay short.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint appends v to b varint-encoded.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// uvarintAt decodes a varint from p at pos, returning the value and the
+// position after it. Non-minimal encodings (a redundant high zero byte) are
+// rejected: the format admits exactly one byte sequence per value, which is
+// what makes a successful decode re-encode byte-identically.
+func uvarintAt(p []byte, pos int) (uint64, int, error) {
+	// One- and two-byte values dominate delta streams; decode them without
+	// the generic loop.
+	if pos < len(p) {
+		if b := p[pos]; b < 0x80 {
+			return uint64(b), pos + 1, nil
+		} else if pos+1 < len(p) && p[pos+1] < 0x80 {
+			if p[pos+1] == 0 {
+				return 0, 0, corruptf("non-minimal varint at payload offset %d", pos)
+			}
+			return uint64(b&0x7f) | uint64(p[pos+1])<<7, pos + 2, nil
+		}
+	}
+	v, n := binary.Uvarint(p[pos:])
+	if n <= 0 {
+		return 0, 0, corruptf("bad varint at payload offset %d", pos)
+	}
+	if n > 1 && p[pos+n-1] == 0 {
+		return 0, 0, corruptf("non-minimal varint at payload offset %d", pos)
+	}
+	return v, pos + n, nil
+}
+
+// svarintAt decodes a zigzag varint.
+func svarintAt(p []byte, pos int) (int64, int, error) {
+	u, next, err := uvarintAt(p, pos)
+	if err != nil {
+		return 0, 0, err
+	}
+	return unzigzag(u), next, nil
+}

@@ -1,0 +1,273 @@
+package tracestore
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func unencodablef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnencodable, fmt.Sprintf(format, args...))
+}
+
+// Writer streams a trace into the polyflow-trace/1 format: entries are
+// appended one at a time (encoded and flushed in bounded chunks, so writer
+// memory does not hold the encoded stream), and Finish serializes the
+// occurrence index — accumulated incrementally during Append — plus the
+// caller-supplied dependence information and the end frame.
+type Writer struct {
+	w   io.Writer
+	err error
+
+	buf      []byte // payload of the frame being built
+	chunkN   int    // entries in the current 'E' frame
+	n        int    // total entries appended
+	prevPC   uint64
+	prevAddr uint64
+
+	occ    map[uint64][]int32
+	occPCs []uint64
+
+	// meta remembers, per entry, the source count and load bit the deps
+	// section needs at Finish (loadBit<<7 | nsrc).
+	meta []uint8
+
+	finished bool
+}
+
+// NewWriter starts a trace stream on w, writing the format header.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{
+		w:   w,
+		buf: make([]byte, 0, frameTarget+1024),
+		occ: map[uint64][]int32{},
+	}
+	hdr := append(magic[:], version)
+	if _, err := w.Write(hdr); err != nil {
+		tw.err = err
+	}
+	return tw
+}
+
+// Append encodes one retired entry. It fails with ErrUnencodable when the
+// entry carries state the format would silently drop, so every encoded
+// stream decodes back to exactly the input.
+func (tw *Writer) Append(e trace.Entry) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.finished {
+		tw.err = fmt.Errorf("tracestore: Append after Finish")
+		return tw.err
+	}
+	isMem := e.IsLoad() || e.IsStore()
+	switch {
+	case !isMem && (e.Addr != 0 || e.MemW != 0):
+		tw.err = unencodablef("entry %d: non-memory op carries Addr=%#x MemW=%d", tw.n, e.Addr, e.MemW)
+	case !e.HasDst() && e.Dst != 0:
+		tw.err = unencodablef("entry %d: no-dst op carries Dst=%d", tw.n, e.Dst)
+	case e.NSrc > 2:
+		tw.err = unencodablef("entry %d: NSrc=%d exceeds 2", tw.n, e.NSrc)
+	case e.NSrc < 2 && e.Srcs[1] != 0, e.NSrc < 1 && e.Srcs[0] != 0:
+		tw.err = unencodablef("entry %d: source register beyond NSrc=%d is set", tw.n, e.NSrc)
+	}
+	if tw.err != nil {
+		return tw.err
+	}
+
+	tw.buf = append(tw.buf, e.Flags, uint8(e.Op))
+	tw.buf = appendUvarint(tw.buf, zigzag(int64(e.PC-tw.prevPC)))
+	tw.buf = appendUvarint(tw.buf, zigzag(int64(e.Next-(e.PC+isa.InstSize))))
+	tw.prevPC = e.PC
+	if isMem {
+		tw.buf = append(tw.buf, e.MemW)
+		tw.buf = appendUvarint(tw.buf, zigzag(int64(e.Addr-tw.prevAddr)))
+		tw.prevAddr = e.Addr
+	}
+	if e.HasDst() {
+		tw.buf = append(tw.buf, uint8(e.Dst))
+	}
+	tw.buf = append(tw.buf, e.NSrc)
+	for k := 0; k < int(e.NSrc); k++ {
+		tw.buf = append(tw.buf, uint8(e.Srcs[k]))
+	}
+
+	if _, seen := tw.occ[e.PC]; !seen {
+		tw.occPCs = append(tw.occPCs, e.PC)
+	}
+	tw.occ[e.PC] = append(tw.occ[e.PC], int32(tw.n))
+	m := e.NSrc
+	if e.IsLoad() {
+		m |= 1 << 7
+	}
+	tw.meta = append(tw.meta, m)
+	tw.n++
+	tw.chunkN++
+	if tw.chunkN == chunkEntries {
+		tw.flushEntries()
+	}
+	return tw.err
+}
+
+// Finish writes the occurrence and dependence sections and the end frame.
+// d must be the trace's ComputeDeps product, covering every appended entry.
+func (tw *Writer) Finish(d *trace.Deps) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.finished {
+		tw.err = fmt.Errorf("tracestore: Finish called twice")
+		return tw.err
+	}
+	tw.finished = true
+	if d == nil || len(d.RegProd) != tw.n || len(d.MemProd) != tw.n {
+		tw.err = unencodablef("deps cover %d entries, trace has %d", depsLen(d), tw.n)
+		return tw.err
+	}
+	tw.flushEntries()
+
+	// Occurrence section: ascending PCs, ascending index lists.
+	sort.Slice(tw.occPCs, func(i, j int) bool { return tw.occPCs[i] < tw.occPCs[j] })
+	framePCs := 0
+	var prevPC uint64
+	for _, pc := range tw.occPCs {
+		if framePCs == 0 {
+			prevPC = 0 // delta state resets at each frame boundary
+		}
+		tw.buf = appendUvarint(tw.buf, pc-prevPC)
+		prevPC = pc
+		idxs := tw.occ[pc]
+		tw.buf = appendUvarint(tw.buf, uint64(len(idxs)))
+		prev := int32(0)
+		for k, ix := range idxs {
+			if k == 0 {
+				tw.buf = appendUvarint(tw.buf, uint64(ix))
+			} else {
+				tw.buf = appendUvarint(tw.buf, uint64(ix-prev))
+			}
+			prev = ix
+		}
+		framePCs++
+		if len(tw.buf) >= frameTarget {
+			tw.emit(kindOcc, uint64(framePCs))
+			framePCs = 0
+		}
+	}
+	tw.emit(kindOcc, uint64(framePCs)) // final (possibly empty) frame
+
+	// Dependence section: producers relative to the consuming index.
+	frameN := 0
+	for i := 0; i < tw.n && tw.err == nil; i++ {
+		nsrc := int(tw.meta[i] & 0x7f)
+		for k := 0; k < nsrc; k++ {
+			prod := d.RegProd[i][k]
+			if prod < -1 || int(prod) >= i {
+				tw.err = unencodablef("entry %d: register producer %d out of range", i, prod)
+				return tw.err
+			}
+			tw.buf = appendUvarint(tw.buf, zigzag(int64(prod)-int64(i)))
+		}
+		for k := nsrc; k < 2; k++ {
+			if d.RegProd[i][k] != 0 {
+				tw.err = unencodablef("entry %d: register producer beyond NSrc is set", i)
+				return tw.err
+			}
+		}
+		if tw.meta[i]&(1<<7) != 0 {
+			prod := d.MemProd[i]
+			if prod < -1 || int(prod) >= i {
+				tw.err = unencodablef("entry %d: memory producer %d out of range", i, prod)
+				return tw.err
+			}
+			tw.buf = appendUvarint(tw.buf, zigzag(int64(prod)-int64(i)))
+		} else if d.MemProd[i] != -1 {
+			tw.err = unencodablef("entry %d: non-load carries memory producer %d", i, d.MemProd[i])
+			return tw.err
+		}
+		frameN++
+		if len(tw.buf) >= frameTarget {
+			tw.emit(kindDeps, uint64(frameN))
+			frameN = 0
+		}
+	}
+	tw.emit(kindDeps, uint64(frameN)) // final (possibly empty) frame
+
+	tw.emit(kindEnd, uint64(tw.n))
+	return tw.err
+}
+
+// flushEntries emits the current 'E' frame and resets the per-chunk delta
+// state. Empty chunks are skipped: 'E' frames always carry entries.
+func (tw *Writer) flushEntries() {
+	if tw.chunkN == 0 {
+		return
+	}
+	tw.emit(kindEntries, uint64(tw.chunkN))
+	tw.chunkN = 0
+	tw.prevPC = 0
+	tw.prevAddr = 0
+}
+
+// emit frames tw.buf as one kind/count/len/payload/crc record.
+func (tw *Writer) emit(kind byte, count uint64) {
+	if tw.err != nil {
+		return
+	}
+	var hdr [2 * 10]byte
+	h := append(hdr[:0], kind)
+	h = appendUvarint(h, count)
+	h = appendUvarint(h, uint64(len(tw.buf)))
+	if _, err := tw.w.Write(h); err != nil {
+		tw.err = err
+		return
+	}
+	if _, err := tw.w.Write(tw.buf); err != nil {
+		tw.err = err
+		return
+	}
+	var crc [4]byte
+	putCRC(crc[:], tw.buf)
+	if _, err := tw.w.Write(crc[:]); err != nil {
+		tw.err = err
+		return
+	}
+	tw.buf = tw.buf[:0]
+}
+
+func putCRC(dst, payload []byte) {
+	c := crc32.Checksum(payload, crcTable)
+	dst[0] = byte(c)
+	dst[1] = byte(c >> 8)
+	dst[2] = byte(c >> 16)
+	dst[3] = byte(c >> 24)
+}
+
+// Encode serializes a complete trace plus its dependence information to
+// bytes — the payload stored in the artifact cache and served by
+// GET /v1/traces/{bench}.
+func Encode(t *trace.Trace, d *trace.Deps) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(64 + len(t.Entries)*8)
+	w := NewWriter(&buf)
+	for i := range t.Entries {
+		if err := w.Append(t.Entries[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Finish(d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func depsLen(d *trace.Deps) int {
+	if d == nil {
+		return 0
+	}
+	return len(d.RegProd)
+}

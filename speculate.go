@@ -20,9 +20,7 @@ package speculate
 import (
 	"context"
 	"fmt"
-	"sync"
 
-	"repro/internal/artifact"
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -59,6 +57,7 @@ func Assemble(src string) (*isa.Program, error) { return asm.Assemble(src) }
 // in the trace augment the static jump tables, as in the paper's
 // profile-driven analysis).
 func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
+	emuRuns.Add(1)
 	tr, err := emu.Run(prog, emu.Config{MaxInstrs: maxInstrs})
 	if err != nil {
 		return nil, fmt.Errorf("speculate: emulating %s: %w", name, err)
@@ -81,31 +80,6 @@ func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
 		Analysis:  an,
 		MaxInstrs: maxInstrs,
 	}, nil
-}
-
-var (
-	benchMu    sync.Mutex
-	benchCache = map[string]*Bench{}
-)
-
-// Load prepares (and memoizes) one of the built-in workloads by name.
-func Load(name string) (*Bench, error) {
-	benchMu.Lock()
-	defer benchMu.Unlock()
-	if b, ok := benchCache[name]; ok {
-		return b, nil
-	}
-	w, ok := workloads.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.Names())
-	}
-	b, err := Prepare(w.Name, w.Assemble(), w.MaxInstrs)
-	if err != nil {
-		return nil, err
-	}
-	b.SourceSHA = artifact.SourceSHA(w.Source)
-	benchCache[name] = b
-	return b, nil
 }
 
 // WorkloadNames lists the built-in benchmarks in the paper's figure order.

@@ -1,0 +1,131 @@
+package speculate_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// goldenTrace deterministically builds the fixture trace: a fixed xorshift
+// stream drives 10000 entries (spanning three entry frames) through every
+// entry shape — loads, stores, branches, calls, 0/1/2 sources, forward and
+// backward control flow. This generator must never change: the encoded
+// bytes are pinned on disk and by digest.
+func goldenTrace() (*trace.Trace, *trace.Deps) {
+	tr := &trace.Trace{}
+	pc := uint64(0x4000)
+	addr := uint64(0x2_0000)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < 10000; i++ {
+		r := next()
+		e := trace.Entry{PC: pc, Op: isa.Op(r >> 8)}
+		switch r & 7 {
+		case 0, 1, 2, 3:
+			e.Next = pc + isa.InstSize
+		case 4:
+			e.Next = pc + isa.InstSize*(2+(r>>16)%64)
+			e.Flags |= trace.FlagCondBranch | trace.FlagTaken
+		case 5:
+			e.Next = 0x4000 + isa.InstSize*((r>>16)%512)
+			e.Flags |= trace.FlagCall
+		case 6:
+			e.Next = 0x4000 + isa.InstSize*((r>>16)%512)
+			e.Flags |= trace.FlagReturn
+		case 7:
+			e.Next = pc + isa.InstSize
+			e.Flags |= trace.FlagCondBranch
+		}
+		switch (r >> 3) & 3 {
+		case 1:
+			e.Flags |= trace.FlagLoad
+		case 2:
+			e.Flags |= trace.FlagStore
+		}
+		if e.IsLoad() || e.IsStore() {
+			e.MemW = 1 << ((r >> 24) & 3)
+			addr = 0x2_0000 + (r>>32)%65536
+			e.Addr = addr
+		}
+		if r&(1<<5) != 0 {
+			e.Flags |= trace.FlagHasDst
+			e.Dst = isa.Reg((r >> 40) % isa.NumRegs)
+		}
+		e.NSrc = uint8((r >> 48) % 3)
+		for k := 0; k < int(e.NSrc); k++ {
+			e.Srcs[k] = isa.Reg((r>>(50+6*k))%isa.NumRegs) % isa.NumRegs
+		}
+		tr.Entries = append(tr.Entries, e)
+		pc = e.Next
+	}
+	return tr, tr.ComputeDeps()
+}
+
+// goldenDigest pins the fixture's SHA-256. A mismatch means the on-disk
+// format changed: bump tracestore's version byte and Schema, regenerate the
+// fixture with -update-tracestore-golden, and note the break in
+// docs/PERFORMANCE.md — never silently re-pin.
+const goldenDigest = "42d02a5d7c5d3dcc74d18673ad00e90e01109591dc38f36fd9a82191f6047542"
+
+var goldenPath = filepath.Join("testdata", "tracestore", "golden.trace")
+
+func TestTraceFormatGolden(t *testing.T) {
+	tr, deps := goldenTrace()
+	enc, err := tracestore.Encode(tr, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if os.Getenv("UPDATE_TRACESTORE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(enc)
+		t.Fatalf("fixture regenerated (%d bytes); update goldenDigest to %s and re-run",
+			len(enc), hex.EncodeToString(sum[:]))
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading fixture (regenerate with UPDATE_TRACESTORE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("encoding differs from pinned fixture: the polyflow-trace format changed; bump the version byte and Schema in internal/tracestore before regenerating")
+	}
+	sum := sha256.Sum256(want)
+	if got := hex.EncodeToString(sum[:]); got != goldenDigest {
+		t.Fatalf("fixture digest %s != pinned %s", got, goldenDigest)
+	}
+
+	// The pinned bytes must keep decoding to exactly the generator's trace.
+	dec, decDeps, err := tracestore.Decode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Entries) != len(tr.Entries) {
+		t.Fatalf("fixture decodes to %d entries, want %d", len(dec.Entries), len(tr.Entries))
+	}
+	for i := range tr.Entries {
+		if dec.Entries[i] != tr.Entries[i] {
+			t.Fatalf("fixture entry %d differs", i)
+		}
+	}
+	if len(decDeps.RegProd) != len(deps.RegProd) {
+		t.Fatal("fixture deps length differs")
+	}
+}
