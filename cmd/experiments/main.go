@@ -11,6 +11,7 @@
 //	experiments -fig 9 -attrib-dir attrib/
 //	experiments -cache-dir ~/.cache/polyflow   # reruns hit the artifact cache
 //	experiments -trace-cache ~/.cache/polyflow # decode each workload's trace once
+//	experiments -fig 9 -cluster http://127.0.0.1:8180  # run the grid on a polyflowd (coordinator or single daemon)
 //
 // -bench and -policy take comma-separated lists and narrow the grid to the
 // named cells; -trace-dir attaches telemetry to every simulated cell and
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/harness"
+	"repro/internal/server"
 )
 
 var (
@@ -42,6 +44,7 @@ var (
 	attribs       = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
 	cacheDir      = flag.String("cache-dir", "", "memoize simulations in a content-addressed artifact cache rooted at this directory")
 	traceCacheDir = flag.String("trace-cache", "", "store workload traces as polyflow-trace/1 artifacts in a cache rooted at this directory (decode once, simulate many; defaults to -cache-dir when set)")
+	cluster       = flag.String("cluster", "", "execute every cell on a remote polyflowd (single daemon or cluster coordinator) at this base URL instead of simulating locally")
 )
 
 func main() {
@@ -112,6 +115,12 @@ func options() (harness.Options, error) {
 			return o, err
 		}
 		o.TraceCache = cache
+	}
+	if *cluster != "" {
+		if *traces != "" {
+			return o, fmt.Errorf("-trace-dir needs a live local run and cannot combine with -cluster")
+		}
+		o.Remote = &server.Client{Base: strings.TrimRight(*cluster, "/"), Retry: server.DefaultRetry()}
 	}
 	return o, nil
 }

@@ -10,6 +10,7 @@
 //	polyload -clients 8 -requests 25
 //	polyload -addr http://127.0.0.1:8080      # against a running daemon
 //	polyload -bench gzip,mcf -policy postdoms -record
+//	polyload -cluster 4                       # add a coordinator+4-worker fan-out phase
 //
 // The warm phase replays the same (bench, policy) cells, so every request
 // past the first per cell is served from the content-addressed artifact
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/cluster"
 	"repro/internal/jobqueue"
 	"repro/internal/server"
 )
@@ -45,9 +47,10 @@ func main() {
 	policyList := flag.String("policy", "postdoms", "comma-separated policies to cycle through")
 	cacheDir := flag.String("cache-dir", "", "cache root for the in-process server (empty = memory-only)")
 	record := flag.Bool("record", false, "append the measurements to BENCH_simulator.json")
+	clusterN := flag.Int("cluster", 0, "also run a cluster phase: an in-process coordinator fanning the cells out to this many in-process worker daemons (0 = skip)")
 	flag.Parse()
 
-	if err := run(*addr, *clients, *requests, splitList(*benchList), splitList(*policyList), *cacheDir, *record); err != nil {
+	if err := run(*addr, *clients, *requests, splitList(*benchList), splitList(*policyList), *cacheDir, *record, *clusterN); err != nil {
 		fmt.Fprintln(os.Stderr, "polyload:", err)
 		os.Exit(1)
 	}
@@ -94,7 +97,7 @@ func submitAndWait(ctx context.Context, c *server.Client, req server.Request) (t
 	}
 }
 
-func run(addr string, clients, requests int, benches, policies []string, cacheDir string, record bool) error {
+func run(addr string, clients, requests int, benches, policies []string, cacheDir string, record bool, clusterN int) error {
 	ctx := context.Background()
 	if addr == "" {
 		cache, err := artifact.New(artifact.Options{Dir: cacheDir})
@@ -225,10 +228,100 @@ func run(addr string, clients, requests int, benches, policies []string, cacheDi
 		fmt.Printf("  WARNING: warm/cold speedup %.1fx below the 10x service target\n", speedup)
 	}
 
+	var cst *clusterStats
+	if clusterN > 0 {
+		st, err := clusterPhase(ctx, cells, clusterN)
+		if err != nil {
+			return fmt.Errorf("cluster phase: %w", err)
+		}
+		cst = st
+	}
+
 	if record {
-		return recordBench(rps, hitRate, coldMean, warmSeq, conc)
+		return recordBench(rps, hitRate, coldMean, warmSeq, conc, cst)
 	}
 	return nil
+}
+
+// clusterStats summarizes the optional cluster phase.
+type clusterStats struct {
+	workers     int
+	cells       int
+	cellsPerSec float64
+	retries     int64
+}
+
+// clusterPhase spins up an in-process coordinator fanning the cells out to
+// n in-process worker daemons and measures warm-cache cell throughput
+// through the full dispatch path (ring placement, per-worker windows,
+// worker HTTP round-trips). One cold pass warms every worker's artifact
+// cache; the timed pass then measures coordination, not simulation.
+func clusterPhase(ctx context.Context, cells []cell, n int) (*clusterStats, error) {
+	coord := cluster.New(cluster.Options{})
+	defer coord.Close()
+	for i := 0; i < n; i++ {
+		cache, err := artifact.New(artifact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			Cache: cache,
+			Pool:  jobqueue.New(jobqueue.Config{QueueDepth: len(cells) * 2}),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		if err := coord.AddWorker("http://" + ln.Addr().String()); err != nil {
+			return nil, err
+		}
+	}
+
+	runAll := func() error {
+		errs := make([]error, len(cells))
+		var wg sync.WaitGroup
+		for i, cl := range cells {
+			wg.Add(1)
+			go func(i int, cl cell) {
+				defer wg.Done()
+				_, _, err := coord.RunCell(ctx, server.Request{Bench: cl.bench, Policy: cl.policy})
+				errs[i] = err
+			}(i, cl)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := runAll(); err != nil { // cold: warm every worker's cache
+		return nil, err
+	}
+	start := time.Now()
+	if err := runAll(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	st := coord.Stats()
+	out := &clusterStats{
+		workers:     n,
+		cells:       len(cells),
+		cellsPerSec: float64(len(cells)) / wall.Seconds(),
+		retries:     st.Retries,
+	}
+	fmt.Printf("\ncluster: %d workers, %d cells (warm)\n", n, len(cells))
+	fmt.Printf("  cell throughput %8.1f cells/s  retries %d\n", out.cellsPerSec, out.retries)
+	return out, nil
 }
 
 // latStats summarizes one phase's latency samples. Every statistic comes
@@ -274,7 +367,7 @@ func latencyStats(lats []time.Duration) latStats {
 // sample sets: warm_mean/p50/p95 all come from the concurrent phase, and
 // the warm/cold speedup from the sequential phase, so no statistic mixes
 // phases (a p50 above the mean in an earlier entry came from exactly that).
-func recordBench(rps, hitRate float64, coldMean time.Duration, warmSeq, conc latStats) error {
+func recordBench(rps, hitRate float64, coldMean time.Duration, warmSeq, conc latStats, cst *clusterStats) error {
 	const path = "BENCH_simulator.json"
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -299,6 +392,14 @@ func recordBench(rps, hitRate float64, coldMean time.Duration, warmSeq, conc lat
 			"warm_seq_mean_ms": round2(warmSeq.mean.Seconds() * 1e3),
 			"warm_over_cold_x": round1(float64(coldMean) / float64(warmSeq.mean)),
 		},
+	}
+	if cst != nil {
+		entry["cluster"] = map[string]any{
+			"cluster_workers":    cst.workers,
+			"cells":              cst.cells,
+			"warm_cells_per_sec": round1(cst.cellsPerSec),
+			"retries":            cst.retries,
+		}
 	}
 	doc["history"] = append(history, entry)
 	out, err := json.MarshalIndent(doc, "", "  ")

@@ -1,0 +1,53 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// AnalysisKeySchema identifies the analysis-artifact key layout. The static
+// analysis (postdominators, CDG, loop forest, spawn points — see
+// internal/core) is a pure function of the same inputs as the trace:
+// workload identity, source hash, and the emulation bound (the bound
+// matters because profile-observed indirect-jump targets come from the
+// trace). It therefore shares the trace key's identity split and never
+// depends on policy or machine configuration.
+const AnalysisKeySchema = "polyflow-analysis-key/1"
+
+// AnalysisKey is the canonical identity of one workload's serialized
+// static-analysis product (polyflow-analysis/1, encoded by
+// core.EncodeAnalysis).
+type AnalysisKey struct {
+	Schema    string `json:"schema"`
+	Workload  string `json:"workload"`
+	SourceSHA string `json:"source_sha"`
+	MaxInstrs int    `json:"max_instrs"`
+}
+
+// NewAnalysisKey builds the key for the named workload's analysis product.
+// Like NewTraceKey, it fails with ErrUncacheable when sourceSHA is empty.
+func NewAnalysisKey(workload, sourceSHA string, maxInstrs int) (AnalysisKey, error) {
+	if sourceSHA == "" {
+		return AnalysisKey{}, fmt.Errorf("%w: bench %q has no source hash", ErrUncacheable, workload)
+	}
+	return AnalysisKey{
+		Schema:    AnalysisKeySchema,
+		Workload:  workload,
+		SourceSHA: sourceSHA,
+		MaxInstrs: maxInstrs,
+	}, nil
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its canonical
+// JSON serialization. The Schema field keeps analysis, trace and simulation
+// keys collision-free.
+func (k AnalysisKey) Hash() string {
+	data, err := json.Marshal(k)
+	if err != nil {
+		panic(err) // strings and ints; Marshal cannot fail
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,8 +1,10 @@
 package artifact
 
 import (
+	"bytes"
 	"container/list"
 	"context"
+	"io"
 	"sync"
 	"sync/atomic"
 )
@@ -106,6 +108,53 @@ func (c *Cache) Get(hash string) ([]byte, bool, error) {
 			c.diskHits.Add(1)
 			c.memPut(hash, data)
 			return data, true, nil
+		}
+	}
+	c.misses.Add(1)
+	return nil, false, nil
+}
+
+// Handle is a random-access view of one cached artifact, as returned by
+// Open. Memory-tier hits are backed by the resident byte slice; disk-tier
+// hits are backed by the file itself, so a large artifact (a multi-megabyte
+// trace) can be consumed through io.ReaderAt windows without ever being
+// fully resident. Close is a no-op for memory-backed handles.
+type Handle struct {
+	io.ReaderAt
+	size   int64
+	closer io.Closer
+}
+
+// Size returns the artifact's length in bytes.
+func (h *Handle) Size() int64 { return h.size }
+
+// Close releases the underlying file, if any.
+func (h *Handle) Close() error {
+	if h.closer == nil {
+		return nil
+	}
+	return h.closer.Close()
+}
+
+// Open returns a random-access handle on the artifact stored under hash,
+// consulting memory then disk. The boolean reports a hit. Unlike Get, a
+// disk hit is NOT promoted into the memory tier — Open exists precisely so
+// oversized artifacts can bypass memory residency — and the stats counters
+// are bumped exactly as Get would bump them, so a caller uses either Get or
+// Open for a given lookup, never both.
+func (c *Cache) Open(hash string) (*Handle, bool, error) {
+	if data, ok := c.memGet(hash); ok {
+		c.memHits.Add(1)
+		return &Handle{ReaderAt: bytes.NewReader(data), size: int64(len(data))}, true, nil
+	}
+	if c.disk != nil {
+		f, size, ok, err := c.disk.open(hash)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			c.diskHits.Add(1)
+			return &Handle{ReaderAt: f, size: size, closer: f}, true, nil
 		}
 	}
 	c.misses.Add(1)

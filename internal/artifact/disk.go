@@ -73,6 +73,28 @@ func (d *diskTier) get(hash string) ([]byte, bool, error) {
 	return data, true, nil
 }
 
+// open returns the artifact's backing file for random access, plus its
+// size. The caller owns the file and must close it.
+func (d *diskTier) open(hash string) (*os.File, int64, bool, error) {
+	p, err := d.path(hash)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	f, err := os.Open(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, false, err
+	}
+	return f, fi.Size(), true, nil
+}
+
 func (d *diskTier) put(hash string, data []byte) error {
 	p, err := d.path(hash)
 	if err != nil {

@@ -269,6 +269,44 @@ func Build(p *isa.Program, funcEntry uint64, extraTargets map[uint64][]uint64) (
 	return g, nil
 }
 
+// FromBlocks reconstructs a Graph from serialized block boundaries and
+// successor lists — the decode path of the analysis artifact
+// (internal/core). blocks must be in ID order with the virtual exit last,
+// exactly as Build produced them; Preds and the PC lookup index are
+// rebuilt here in Build's insertion order, so a reconstructed graph is
+// indistinguishable from a built one.
+func FromBlocks(p *isa.Program, funcEntry, funcEnd uint64, blocks []*Block) (*Graph, error) {
+	g := &Graph{Prog: p, FuncEntry: funcEntry, FuncEnd: funcEnd, Blocks: blocks}
+	n := len(blocks)
+	for i, b := range blocks {
+		if b.ID != i {
+			return nil, fmt.Errorf("cfg: block %d carries ID %d", i, b.ID)
+		}
+		if b.Virtual != (i == n-1) {
+			return nil, fmt.Errorf("cfg: virtual exit must be exactly the last block")
+		}
+		for _, s := range b.Succs {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("cfg: block %d successor %d out of range", i, s)
+			}
+		}
+	}
+	// Preds in the same order Build's addEdge produced them: blocks in ID
+	// order, successors in stored order.
+	for _, b := range blocks {
+		for _, s := range b.Succs {
+			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b.ID)
+		}
+	}
+	for _, b := range blocks {
+		if !b.Virtual {
+			g.byStart = append(g.byStart, b.Start)
+			g.startID = append(g.startID, b.ID)
+		}
+	}
+	return g, nil
+}
+
 // BuildAll constructs CFGs for every function in the program, in Funcs
 // order. Programs with no declared functions get one graph rooted at the
 // entry PC.

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"time"
+)
+
+// registration is the POST /v1/cluster/workers body.
+type registration struct {
+	Addr string `json:"addr"`
+}
+
+// Handler returns the coordinator's cluster-management endpoints, mounted
+// by polyflowd under /v1/cluster/ alongside the ordinary job API:
+//
+//	POST   /v1/cluster/workers          register {"addr":"http://host:port"}
+//	GET    /v1/cluster/workers          fleet status (cluster.WorkerStatus list)
+//	DELETE /v1/cluster/workers?addr=... deregister
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		var reg registration
+		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad registration body: %w", err))
+			return
+		}
+		if err := c.AddWorker(reg.Addr); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		httpJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+	})
+	mux.HandleFunc("GET /v1/cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		httpJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+	})
+	mux.HandleFunc("DELETE /v1/cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing addr query parameter"))
+			return
+		}
+		c.RemoveWorker(addr)
+		httpJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+	})
+	return mux
+}
+
+// Register announces a worker to a coordinator, retrying until ctx
+// expires — polyflowd calls it on startup when -join is set, so a worker
+// may come up before its coordinator and still end up registered.
+func Register(ctx context.Context, coordinator, advertise string, hc *http.Client) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	body, err := json.Marshal(registration{Addr: advertise})
+	if err != nil {
+		return err
+	}
+	url := normalizeBase(coordinator) + "/v1/cluster/workers"
+	var last error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("coordinator answered HTTP %d", resp.StatusCode)
+		}
+		last = err
+		delay := time.Duration(attempt+1) * 100 * time.Millisecond
+		if delay > time.Second {
+			delay = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: registering with %s: %w (last: %v)", coordinator, ctx.Err(), last)
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Deregister removes a worker from a coordinator (best effort; polyflowd
+// calls it while shutting down).
+func Deregister(ctx context.Context, coordinator, advertise string, hc *http.Client) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	url := normalizeBase(coordinator) + "/v1/cluster/workers?" + neturl.Values{"addr": {advertise}}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	httpJSON(w, code, map[string]string{"error": err.Error()})
+}

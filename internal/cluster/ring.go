@@ -1,0 +1,132 @@
+// Package cluster distributes grid cells across a fleet of polyflowd
+// workers. A coordinator daemon accepts the ordinary job API, but instead
+// of simulating locally it ships each (bench, policy) cell to a worker
+// chosen by consistent hashing over the workload's trace-artifact key —
+// every policy of one workload lands on the same worker, so that worker's
+// disk cache and decoded-trace memo stay hot for "its" workloads. Because
+// the simulator is deterministic and artifacts are content-addressed, the
+// merged grid results are byte-identical to single-node execution.
+//
+// See docs/SERVICE.md, "Cluster mode".
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Keys and member IDs
+// are strings; the hash is FNV-1a, so placement is deterministic across
+// processes and runs. Ring is not safe for concurrent mutation; the
+// Coordinator guards it with its own lock.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]bool
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member; replicas <= 0 selects 64 (enough to keep the per-member share
+// within a few percent of fair for small fleets).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, members: map[string]bool{}}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a distributes similar strings ("worker#0", "worker#1", ...)
+	// poorly around the ring; a 64-bit avalanche finalizer (Murmur3's)
+	// spreads the virtual nodes so member shares stay near fair.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a member; adding an existing member is a no-op.
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{ringHash(member + "#" + strconv.Itoa(i)), member})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Remove deletes a member and its virtual nodes. Keys owned by the member
+// redistribute across the survivors; keys owned by others do not move —
+// the property that keeps surviving workers' caches warm when one dies.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the member set in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) (string, bool) {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return "", false
+	}
+	return seq[0], true
+}
+
+// Sequence returns every member in the key's preference order: the owner
+// first, then each distinct member encountered walking the ring clockwise.
+// The coordinator uses the tail for bounded-load spill and for failover
+// when the owner is down.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.members))
+	out := make([]string, 0, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

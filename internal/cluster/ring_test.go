@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		// Insertion order must not matter.
+		for _, m := range []string{"w2", "w0", "w3", "w1"} {
+			r.Add(m)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ma, _ := a.Lookup(key)
+		mb, _ := b.Lookup(key)
+		if ma != mb {
+			t.Fatalf("key %q: placement differs between identical rings (%s vs %s)", key, ma, mb)
+		}
+	}
+}
+
+func TestRingSequenceCoversAllMembersOnce(t *testing.T) {
+	r := NewRing(32)
+	members := []string{"a", "b", "c", "d", "e"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	seq := r.Sequence("some-workload-hash")
+	if len(seq) != len(members) {
+		t.Fatalf("sequence has %d members, want %d", len(seq), len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Fatalf("member %s appears twice in sequence %v", m, seq)
+		}
+		seen[m] = true
+	}
+	if owner, _ := r.Lookup("some-workload-hash"); owner != seq[0] {
+		t.Fatalf("Lookup %s != Sequence[0] %s", owner, seq[0])
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(128)
+	n := 4
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("worker-%d", i))
+	}
+	counts := map[string]int{}
+	total := 4000
+	for i := 0; i < total; i++ {
+		m, ok := r.Lookup(fmt.Sprintf("cell-%d", i))
+		if !ok {
+			t.Fatal("lookup on populated ring failed")
+		}
+		counts[m]++
+	}
+	fair := total / n
+	for m, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("member %s owns %d of %d keys; want within [%d, %d] of fair share %d",
+				m, c, total, fair/2, fair*2, fair)
+		}
+	}
+}
+
+func TestRingRemovalOnlyMovesVictimKeys(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("worker-%d", i))
+	}
+	before := map[string]string{}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		before[key], _ = r.Lookup(key)
+	}
+	victim := "worker-2"
+	r.Remove(victim)
+	for key, owner := range before {
+		after, ok := r.Lookup(key)
+		if !ok {
+			t.Fatal("lookup failed after removal")
+		}
+		if owner != victim && after != owner {
+			t.Fatalf("key %q moved from surviving %s to %s after removing %s — remap must touch only the victim's keys",
+				key, owner, after, victim)
+		}
+		if owner == victim && after == victim {
+			t.Fatalf("key %q still maps to removed member", key)
+		}
+	}
+}
+
+func TestRingEmptyAndReAdd(t *testing.T) {
+	r := NewRing(16)
+	if _, ok := r.Lookup("x"); ok {
+		t.Fatal("lookup on empty ring must fail")
+	}
+	r.Add("only")
+	if m, ok := r.Lookup("x"); !ok || m != "only" {
+		t.Fatalf("single-member ring lookup = %q, %v", m, ok)
+	}
+	r.Remove("only")
+	if _, ok := r.Lookup("x"); ok {
+		t.Fatal("lookup after removing the last member must fail")
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	if got := len(r.Members()); got != 1 {
+		t.Fatalf("double Add left %d members, want 1", got)
+	}
+}

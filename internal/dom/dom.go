@@ -8,6 +8,8 @@
 // provided for property-based cross-checking in tests.
 package dom
 
+import "fmt"
+
 // Tree is a dominator tree over nodes 0..n-1.
 type Tree struct {
 	// IDom[v] is the immediate dominator of v, -1 for the root and for
@@ -73,33 +75,7 @@ func Compute(succs [][]int, root int) *Tree {
 		return t
 	}
 
-	// Reverse postorder via iterative DFS.
-	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
-	post := make([]int, 0, n)
-	type frame struct {
-		v, i int
-	}
-	stack := []frame{{root, 0}}
-	state[root] = 1
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
-		if f.i < len(succs[f.v]) {
-			w := succs[f.v][f.i]
-			f.i++
-			if state[w] == 0 {
-				state[w] = 1
-				stack = append(stack, frame{w, 0})
-			}
-			continue
-		}
-		state[f.v] = 2
-		post = append(post, f.v)
-		stack = stack[:len(stack)-1]
-	}
-	rpo := make([]int, len(post))
-	for i, v := range post {
-		rpo[len(post)-1-i] = v
-	}
+	rpo := rpoOrder(succs, root)
 	t.Order = rpo
 
 	rpoNum := make([]int, n)
@@ -180,6 +156,85 @@ func Compute(succs [][]int, root int) *Tree {
 		}
 	}
 	return t
+}
+
+// rpoOrder returns the reverse postorder of nodes reachable from root via
+// iterative DFS. Both Compute and Rebuild derive Tree.Order through it, so
+// a rebuilt tree's traversal order is bit-equal to a computed one's.
+func rpoOrder(succs [][]int, root int) []int {
+	n := len(succs)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	post := make([]int, 0, n)
+	type frame struct {
+		v, i int
+	}
+	stack := []frame{{root, 0}}
+	state[root] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(succs[f.v]) {
+			w := succs[f.v][f.i]
+			f.i++
+			if state[w] == 0 {
+				state[w] = 1
+				stack = append(stack, frame{w, 0})
+			}
+			continue
+		}
+		state[f.v] = 2
+		post = append(post, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, len(post))
+	for i, v := range post {
+		rpo[len(post)-1-i] = v
+	}
+	return rpo
+}
+
+// Rebuild reconstructs a Tree from a stored immediate-dominator array
+// without re-running the dataflow — the decode path of the serialized
+// analysis artifact (internal/core). succs must be the adjacency lists the
+// tree was computed over (the reversed graph for postdominators) and idom
+// a Compute result's IDom slice; Depth and Order are derived, so a rebuilt
+// tree is indistinguishable from a computed one.
+func Rebuild(succs [][]int, root int, idom []int) (*Tree, error) {
+	n := len(succs)
+	if len(idom) != n {
+		return nil, fmt.Errorf("dom: idom has %d entries for %d nodes", len(idom), n)
+	}
+	t := &Tree{
+		IDom:  append([]int(nil), idom...),
+		Depth: make([]int, n),
+		root:  root,
+	}
+	for i := range t.Depth {
+		t.Depth[i] = -1
+	}
+	if n == 0 {
+		return t, nil
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("dom: root %d out of range [0,%d)", root, n)
+	}
+	for v, p := range t.IDom {
+		if p < -1 || p >= n {
+			return nil, fmt.Errorf("dom: idom[%d] = %d out of range", v, p)
+		}
+	}
+	t.Order = rpoOrder(succs, root)
+	// Depths in RPO order, as in Compute: an idom always precedes its
+	// children in reverse postorder.
+	t.Depth[root] = 0
+	for _, v := range t.Order {
+		if v == root {
+			continue
+		}
+		if p := t.IDom[v]; p >= 0 && t.Depth[p] >= 0 {
+			t.Depth[v] = t.Depth[p] + 1
+		}
+	}
+	return t, nil
 }
 
 // Reverse returns the transposed adjacency lists.

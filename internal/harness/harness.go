@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jobqueue"
 	"repro/internal/machine"
+	"repro/internal/server"
 	"repro/internal/telemetry"
 )
 
@@ -64,6 +66,14 @@ type Options struct {
 	// the shared immutable trace. Nil falls back to Cache, so one
 	// -cache-dir serves both artifact kinds.
 	TraceCache *artifact.Cache
+	// Remote, when non-nil, executes every cell on a remote polyflowd (a
+	// single daemon or a cluster coordinator) instead of simulating
+	// locally: benchmark preparation is skipped — the serving side owns
+	// the traces — and each cell becomes a submitted job whose stored sim
+	// artifact is decoded into the table, byte-identical to a local run.
+	// TraceDir is incompatible with Remote (telemetry needs a live local
+	// run); AttribDir works, fed from the artifact's embedded report.
+	Remote *server.Client
 }
 
 // traceCache returns the cache backing benchmark preparation.
@@ -167,12 +177,18 @@ func (o Options) writeAttrib(bench, policy string, rep *attrib.Report) error {
 }
 
 // pool returns the scheduling pool for a batch of at most depth jobs and
-// whether the caller owns (and must Close) it.
+// whether the caller owns (and must Close) it. Remote grids oversubscribe
+// the worker count: a remote cell blocks its pool worker on HTTP I/O, not
+// on a CPU, so GOMAXPROCS-sized pools would serialize the fan-out.
 func (o Options) pool(depth int) (*jobqueue.Pool, bool) {
 	if o.Pool != nil {
 		return o.Pool, false
 	}
-	return jobqueue.New(jobqueue.Config{QueueDepth: depth, BaseContext: o.ctx()}), true
+	workers := 0
+	if o.Remote != nil {
+		workers = 16
+	}
+	return jobqueue.New(jobqueue.Config{Workers: workers, QueueDepth: depth, BaseContext: o.ctx()}), true
 }
 
 // submitWait submits to pool, waiting out transient ErrQueueFull — batch
@@ -203,6 +219,9 @@ func submitWait(ctx context.Context, pool *jobqueue.Pool, job jobqueue.Job) (*jo
 func (o Options) runCell(ctx context.Context, b *speculate.Bench, colName string, baseCfg machine.Config,
 	sim func(ctx context.Context, cfg machine.Config) (machine.Result, error)) (machine.Result, error) {
 
+	if o.Remote != nil {
+		return o.runCellRemote(ctx, b.Name, colName)
+	}
 	if o.Cache == nil || o.TraceDir != "" {
 		return o.runCellLive(ctx, b, colName, baseCfg, sim)
 	}
@@ -242,6 +261,59 @@ func (o Options) runCell(ctx context.Context, b *speculate.Bench, colName string
 			return o.runCellLive(ctx, b, colName, baseCfg, sim)
 		}
 		if err := o.writeAttrib(b.Name, colName, art.Attrib); err != nil {
+			return machine.Result{}, err
+		}
+	}
+	return art.Result, nil
+}
+
+// runCellRemote executes one cell as a job on the remote daemon and
+// decodes the returned sim artifact — the same bytes a local cached run
+// would decode, so remote and local grids are byte-identical. 429s from a
+// saturated queue are waited out: a batch grid would rather wait than
+// shed cells.
+func (o Options) runCellRemote(ctx context.Context, bench, colName string) (machine.Result, error) {
+	if o.TraceDir != "" {
+		return machine.Result{}, errors.New("harness: -trace-dir needs a live local run, not a remote grid")
+	}
+	req := server.Request{Bench: bench, Policy: colName}
+	var st server.Status
+	for {
+		var code int
+		var err error
+		st, code, err = o.Remote.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		if code != http.StatusTooManyRequests {
+			return machine.Result{}, fmt.Errorf("submitting %s/%s: %w", bench, colName, err)
+		}
+		select {
+		case <-ctx.Done():
+			return machine.Result{}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	fin, err := o.Remote.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("waiting on %s/%s: %w", bench, colName, err)
+	}
+	if fin.State != "succeeded" {
+		return machine.Result{}, fmt.Errorf("remote job %s (%s/%s) %s: %s", st.ID, bench, colName, fin.State, fin.Error)
+	}
+	data, err := o.Remote.ResultBytes(ctx, st.ID)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("fetching result of %s/%s: %w", bench, colName, err)
+	}
+	art, err := artifact.DecodeSim(data)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("decoding result of %s/%s: %w", bench, colName, err)
+	}
+	if o.AttribDir != "" {
+		if art.Attrib == nil {
+			return machine.Result{}, fmt.Errorf("remote artifact for %s/%s carries no attribution report", bench, colName)
+		}
+		if err := o.writeAttrib(bench, colName, art.Attrib); err != nil {
 			return machine.Result{}, err
 		}
 	}
@@ -302,6 +374,15 @@ func benchesNamed(o Options, names []string) ([]*speculate.Bench, error) {
 	}
 	if len(wanted) == 0 {
 		return nil, fmt.Errorf("harness: no benchmark matches %q (have %v)", names, all)
+	}
+	if o.Remote != nil {
+		// The serving side owns trace preparation; the grid only needs the
+		// names. Baseline IPCs come from the decoded remote results.
+		out := make([]*speculate.Bench, len(wanted))
+		for i, name := range wanted {
+			out[i] = &speculate.Bench{Name: name}
+		}
+		return out, nil
 	}
 	out := make([]*speculate.Bench, len(wanted))
 	errs := make([]error, len(wanted))

@@ -1,0 +1,137 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// payloadExecutor records the payloads it executed and fails on demand.
+type payloadExecutor struct {
+	executed atomic.Int64
+	fail     error
+	got      chan any
+}
+
+func (e *payloadExecutor) Execute(ctx context.Context, j Job) error {
+	e.executed.Add(1)
+	if e.got != nil {
+		e.got <- j.Payload
+	}
+	return e.fail
+}
+
+func TestCustomExecutorReceivesPayload(t *testing.T) {
+	exec := &payloadExecutor{got: make(chan any, 1)}
+	p := New(Config{Workers: 1, Executor: exec})
+	defer p.Close()
+
+	h, err := p.Submit(Job{ID: "remote", Payload: "cell-descriptor"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := h.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := <-exec.got; got != "cell-descriptor" {
+		t.Fatalf("executor payload = %v, want cell-descriptor", got)
+	}
+	if n := exec.executed.Load(); n != 1 {
+		t.Fatalf("executed = %d, want 1", n)
+	}
+}
+
+func TestCustomExecutorAllowsNilFn(t *testing.T) {
+	// Under a custom executor a job carries work in Payload; Fn may be
+	// nil. Under the default local executor a nil Fn is still rejected.
+	exec := &payloadExecutor{}
+	remote := New(Config{Workers: 1, Executor: exec})
+	defer remote.Close()
+	if _, err := remote.Submit(Job{ID: "no-fn"}); err != nil {
+		t.Fatalf("Submit with custom executor: %v", err)
+	}
+
+	local := New(Config{Workers: 1})
+	defer local.Close()
+	if _, err := local.Submit(Job{ID: "no-fn"}); err == nil {
+		t.Fatal("Submit with nil Fn under LocalExecutor: want error")
+	}
+}
+
+func TestCustomExecutorErrorFailsJob(t *testing.T) {
+	boom := errors.New("worker unreachable")
+	exec := &payloadExecutor{fail: boom}
+	p := New(Config{Workers: 1, Executor: exec})
+	defer p.Close()
+
+	h, err := p.Submit(Job{ID: "doomed"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := h.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if st := h.State(); st != Failed {
+		t.Fatalf("state = %v, want Failed", st)
+	}
+}
+
+// panicExecutor proves the pool's panic recovery wraps executors too.
+type panicExecutor struct{}
+
+func (panicExecutor) Execute(ctx context.Context, j Job) error { panic("remote blew up") }
+
+func TestCustomExecutorPanicRecovered(t *testing.T) {
+	p := New(Config{Workers: 1, Executor: panicExecutor{}})
+	defer p.Close()
+
+	h, err := p.Submit(Job{ID: "panicky"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := h.Wait(context.Background()); err == nil {
+		t.Fatal("Wait: want panic-derived error")
+	}
+	// The pool must still run subsequent jobs.
+	ok := New(Config{Workers: 1})
+	defer ok.Close()
+	done := make(chan struct{})
+	if _, err := ok.Submit(Job{ID: "after", Fn: func(context.Context) error { close(done); return nil }}); err != nil {
+		t.Fatalf("Submit after panic: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool stalled after executor panic")
+	}
+}
+
+func TestCustomExecutorHonorsTimeout(t *testing.T) {
+	slow := executorFunc(func(ctx context.Context, j Job) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Second):
+			return nil
+		}
+	})
+	p := New(Config{Workers: 1, Executor: slow})
+	defer p.Close()
+
+	h, err := p.Submit(Job{ID: "slow", Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := h.Wait(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+	if st := h.State(); st != Canceled {
+		t.Fatalf("state = %v, want Canceled", st)
+	}
+}
+
+type executorFunc func(ctx context.Context, j Job) error
+
+func (f executorFunc) Execute(ctx context.Context, j Job) error { return f(ctx, j) }

@@ -53,6 +53,30 @@ type Config struct {
 	// BaseContext is the parent of every job context; nil means
 	// context.Background(). Canceling it cancels all running jobs.
 	BaseContext context.Context
+	// Executor runs accepted jobs; nil selects LocalExecutor (invoke the
+	// job's Fn in-process). The cluster coordinator installs a remote
+	// executor that ships each job's Payload to a worker daemon instead.
+	Executor Executor
+}
+
+// Executor runs one accepted job. The pool's scheduling discipline —
+// priorities, backpressure, per-job contexts, drain — is identical for
+// every executor; only where the work happens differs. Execute is called
+// from pool workers, so it must be safe for concurrent use.
+type Executor interface {
+	Execute(ctx context.Context, j Job) error
+}
+
+// LocalExecutor is the default Executor: it invokes the job's Fn in the
+// worker goroutine.
+type LocalExecutor struct{}
+
+// Execute runs j.Fn.
+func (LocalExecutor) Execute(ctx context.Context, j Job) error {
+	if j.Fn == nil {
+		return fmt.Errorf("jobqueue: job %q has nil Fn", j.ID)
+	}
+	return j.Fn(ctx)
 }
 
 // Job is one unit of work.
@@ -64,7 +88,11 @@ type Job struct {
 	// Timeout bounds the job's run time when positive.
 	Timeout time.Duration
 	// Fn does the work. It must honor ctx for cancellation to be prompt.
+	// Required under LocalExecutor; a custom Executor may ignore it.
 	Fn func(ctx context.Context) error
+	// Payload carries executor-specific data (e.g. the cluster
+	// coordinator's cell descriptor). LocalExecutor ignores it.
+	Payload any
 }
 
 // State is a job's lifecycle position.
@@ -195,17 +223,18 @@ type Pool struct {
 	workers    int
 	queueDepth int
 	base       context.Context
+	exec       Executor
 
 	mu          sync.Mutex
 	cond        *sync.Cond // work available or pool closing
 	queue       jobHeap
 	liveRunning map[*Handle]context.CancelFunc
 	running     int
-	seq      uint64
-	draining bool
-	closed   bool
-	idleCh   chan struct{} // closed when draining and no work remains
-	stats    struct {
+	seq         uint64
+	draining    bool
+	closed      bool
+	idleCh      chan struct{} // closed when draining and no work remains
+	stats       struct {
 		Succeeded, Failed, Canceled, Rejected int64
 	}
 	wg sync.WaitGroup
@@ -222,10 +251,14 @@ func New(cfg Config) *Pool {
 	if cfg.BaseContext == nil {
 		cfg.BaseContext = context.Background()
 	}
+	if cfg.Executor == nil {
+		cfg.Executor = LocalExecutor{}
+	}
 	p := &Pool{
 		workers:     cfg.Workers,
 		queueDepth:  cfg.QueueDepth,
 		base:        cfg.BaseContext,
+		exec:        cfg.Executor,
 		liveRunning: map[*Handle]context.CancelFunc{},
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -241,7 +274,11 @@ func New(cfg Config) *Pool {
 // returned Handle tracks the job to completion.
 func (p *Pool) Submit(j Job) (*Handle, error) {
 	if j.Fn == nil {
-		return nil, errors.New("jobqueue: job has nil Fn")
+		// Only the local executor needs Fn; a custom executor works off
+		// the job's Payload and may leave it nil.
+		if _, local := p.exec.(LocalExecutor); local {
+			return nil, errors.New("jobqueue: job has nil Fn")
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -370,13 +407,13 @@ func (p *Pool) worker() {
 		if h.job.Timeout > 0 {
 			var tcancel context.CancelFunc
 			ctx, tcancel = context.WithTimeout(ctx, h.job.Timeout)
-			err := runJob(ctx, h.job)
+			err := runJob(ctx, p.exec, h.job)
 			tcancel()
 			cancel()
 			p.settle(h, err)
 			continue
 		}
-		err := runJob(ctx, h.job)
+		err := runJob(ctx, p.exec, h.job)
 		cancel()
 		p.settle(h, err)
 	}
@@ -402,8 +439,8 @@ func (p *Pool) settle(h *Handle, err error) {
 	p.mu.Unlock()
 }
 
-// runJob invokes the job fn, converting a panic into an error.
-func runJob(ctx context.Context, j Job) (err error) {
+// runJob hands the job to the executor, converting a panic into an error.
+func runJob(ctx context.Context, exec Executor, j Job) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("jobqueue: job %q panicked: %v", j.ID, r)
@@ -412,7 +449,7 @@ func runJob(ctx context.Context, j Job) (err error) {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return j.Fn(ctx)
+	return exec.Execute(ctx, j)
 }
 
 // jobHeap orders handles by (higher priority, earlier submission).

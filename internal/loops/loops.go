@@ -78,6 +78,27 @@ func (f *Forest) IsBackEdge(from, to int) bool {
 	return false
 }
 
+// NewForest assembles a Forest over n blocks from already-detected loops —
+// the decode path of the serialized analysis artifact (internal/core).
+// Loops must be in Find's order (ascending header) with Parent and Depth
+// filled; InnermostOf is recomputed with Find's innermost rule, so a
+// rebuilt forest is indistinguishable from a detected one.
+func NewForest(ls []*Loop, n int) *Forest {
+	f := &Forest{Loops: ls, InnermostOf: make([]int, n)}
+	for i := range f.InnermostOf {
+		f.InnermostOf[i] = -1
+	}
+	for i, l := range ls {
+		for v := range l.Body {
+			cur := f.InnermostOf[v]
+			if cur == -1 || len(f.Loops[cur].Body) > len(l.Body) {
+				f.InnermostOf[v] = i
+			}
+		}
+	}
+	return f
+}
+
 // Find detects the natural loops of the graph given by succs using its
 // dominator tree (rooted at the CFG entry).
 func Find(succs [][]int, domTree *dom.Tree) *Forest {

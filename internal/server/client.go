@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
@@ -13,13 +14,71 @@ import (
 	"repro/internal/attrib"
 )
 
-// Client is a thin Go client for the polyflowd API; cmd/polyload and the
-// CI smoke job drive the daemon through it.
+// RetryPolicy bounds the client's transient-failure retries. Requests that
+// fail at the transport layer (connection refused, reset), answer 429
+// (queue backpressure) or answer 5xx are reissued with exponential backoff
+// and jitter; other 4xx answers are never retried. The zero value disables
+// retries (exactly one attempt), preserving the historical behavior for
+// callers — like cmd/polyload — that implement their own 429 handling.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget; <= 1 means no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry, doubled per
+	// attempt; <= 0 selects 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 selects 1s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy the cluster coordinator uses for worker
+// calls: enough attempts to ride out a worker restart, capped well below
+// the heartbeat failure-detection window.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+}
+
+// retryable reports whether a failed attempt with this status code may be
+// reissued. Code 0 is a transport-level failure (no HTTP answer at all).
+func (RetryPolicy) retryable(code int) bool {
+	return code == 0 || code == http.StatusTooManyRequests || code >= 500
+}
+
+// backoff blocks for the attempt'th retry delay: exponential growth from
+// BaseDelay capped at MaxDelay, with uniform jitter over the upper half so
+// a fleet of retrying clients never thunders in lockstep.
+func (p RetryPolicy) backoff(ctx context.Context, attempt int) error {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Client is a thin Go client for the polyflowd API; cmd/polyload, the CI
+// smoke job and the cluster coordinator drive daemons through it.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP overrides the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// Retry governs transient-failure retries; the zero value disables
+	// them.
+	Retry RetryPolicy
 }
 
 func (c *Client) http() *http.Client {
@@ -30,19 +89,41 @@ func (c *Client) http() *http.Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) (int, error) {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return 0, err
 		}
-		rd = bytes.NewReader(data)
+		payload = data
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		code, err := c.doOnce(ctx, method, path, payload, out)
+		if err == nil || !c.Retry.retryable(code) || attempt == attempts-1 {
+			return code, err
+		}
+		if berr := c.Retry.backoff(ctx, attempt); berr != nil {
+			return code, err
+		}
+	}
+}
+
+// doOnce issues one HTTP attempt. Code 0 with a non-nil error means the
+// request never got an HTTP answer (transport failure).
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) (int, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
 		return 0, err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 	"repro/internal/tracestore"
+	"repro/internal/workloads"
 )
 
 // ProgressFunc receives simulation progress; it matches the machine
@@ -100,16 +101,29 @@ type Config struct {
 	MaxJobs int
 	// Runner overrides the simulation path (tests). Nil simulates.
 	Runner Runner
+	// TraceUpstream, when non-nil, names another polyflowd — typically the
+	// cluster coordinator — to fetch missing trace artifacts from (GET
+	// /v1/traces/{bench}) before falling back to local emulation. A cluster
+	// worker therefore decodes each workload once ever and emulates none;
+	// an unreachable upstream degrades to the local emulator.
+	TraceUpstream *Client
+	// MetricsExtra, when non-nil, contributes additional metrics to the
+	// GET /metrics snapshot (the cluster coordinator injects its cluster.*
+	// counters through it). It runs on the request path, so it must be
+	// safe for concurrent use.
+	MetricsExtra func(reg *telemetry.Registry)
 }
 
 // Server is the polyflowd HTTP handler plus its job registry.
 type Server struct {
-	pool    *jobqueue.Pool
-	ownPool bool
-	cache   *artifact.Cache
-	runner  Runner
-	maxJobs int
-	mux     *http.ServeMux
+	pool         *jobqueue.Pool
+	ownPool      bool
+	cache        *artifact.Cache
+	runner       Runner
+	maxJobs      int
+	upstream     *Client
+	metricsExtra func(reg *telemetry.Registry)
+	mux          *http.ServeMux
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -138,21 +152,24 @@ type counters struct {
 
 	// Trace provenance: how benchmark preparation obtained each workload's
 	// trace (decode-once accounting), plus /v1/traces fetches served.
-	traceEmuDecodes   atomic.Int64
-	traceArtifactHits atomic.Int64
-	traceMemoHits     atomic.Int64
-	tracesServed      atomic.Int64
+	traceEmuDecodes      atomic.Int64
+	traceArtifactHits    atomic.Int64
+	traceMemoHits        atomic.Int64
+	tracesServed         atomic.Int64
+	traceUpstreamFetches atomic.Int64
 }
 
 // New builds the server. Call Close when done; it drains the pool.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		pool:    cfg.Pool,
-		cache:   cfg.Cache,
-		runner:  cfg.Runner,
-		maxJobs: cfg.MaxJobs,
-		jobs:    map[string]*job{},
-		stop:    make(chan struct{}),
+		pool:         cfg.Pool,
+		cache:        cfg.Cache,
+		runner:       cfg.Runner,
+		maxJobs:      cfg.MaxJobs,
+		upstream:     cfg.TraceUpstream,
+		metricsExtra: cfg.MetricsExtra,
+		jobs:         map[string]*job{},
+		stop:         make(chan struct{}),
 	}
 	if s.pool == nil {
 		s.pool = jobqueue.New(jobqueue.Config{})
@@ -222,6 +239,7 @@ func (s *Server) Close() {
 // server-smoke asserts on: two jobs for one workload must show a single
 // emulator decode.
 func (s *Server) bench(name string) (*speculate.Bench, error) {
+	s.prefetchTrace(name)
 	b, src, err := speculate.LoadCached(name, s.cache)
 	if err != nil {
 		return nil, err
@@ -235,6 +253,35 @@ func (s *Server) bench(name string) (*speculate.Bench, error) {
 		s.m.traceMemoHits.Add(1)
 	}
 	return b, nil
+}
+
+// prefetchTrace pulls the workload's encoded trace from the upstream
+// daemon into the local artifact cache when it is not already present, so
+// the LoadCached that follows resolves by decoding the stored artifact
+// instead of running the emulator. Singleflight in GetOrCompute dedups
+// concurrent fetches of one workload; any failure is non-fatal — the bench
+// simply falls back to local emulation.
+func (s *Server) prefetchTrace(name string) {
+	if s.upstream == nil {
+		return
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return
+	}
+	key, err := artifact.NewTraceKey(w.Name, artifact.SourceSHA(w.Source), w.MaxInstrs)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	s.cache.GetOrCompute(ctx, key.Hash(), func(ctx context.Context) ([]byte, error) {
+		data, err := s.upstream.Trace(ctx, name)
+		if err == nil {
+			s.m.traceUpstreamFetches.Add(1)
+		}
+		return data, err
+	})
 }
 
 // handleTrace serves a workload's serialized polyflow-trace/1 artifact, so
@@ -550,6 +597,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	set("server.traces.artifact_hits", s.m.traceArtifactHits.Load())
 	set("server.traces.memo_hits", s.m.traceMemoHits.Load())
 	set("server.traces.served", s.m.tracesServed.Load())
+	set("server.traces.upstream_fetches", s.m.traceUpstreamFetches.Load())
 
 	ps := s.pool.Stats()
 	reg.Gauge("pool.workers").Set(int64(ps.Workers))
@@ -567,6 +615,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	set("cache.evictions", cs.Evictions)
 	reg.Gauge("cache.mem_entries").Set(int64(cs.MemEntries))
 	reg.Gauge("cache.mem_bytes").Set(cs.MemBytes)
+
+	if s.metricsExtra != nil {
+		s.metricsExtra(reg)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -68,7 +68,7 @@ func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
 	if err := emu.Check(prog, tr); err != nil {
 		return nil, fmt.Errorf("speculate: architectural check of %s failed: %w", name, err)
 	}
-	an, err := core.Analyze(prog, tr.IndirectTargets())
+	an, err := analyze(prog, tr.IndirectTargets())
 	if err != nil {
 		return nil, fmt.Errorf("speculate: analyzing %s: %w", name, err)
 	}

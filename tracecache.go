@@ -2,6 +2,7 @@ package speculate
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -12,6 +13,13 @@ import (
 	"repro/internal/tracestore"
 	"repro/internal/workloads"
 )
+
+// LazyTraceThreshold is the artifact size, in bytes, above which LoadCached
+// replays a stored trace through the tracestore's streaming ReaderAt path
+// instead of materializing the serialized bytes first. Below it the decode
+// working set is small enough that an eager read is cheaper than seeking.
+// Exported as a variable so tests can force either path.
+var LazyTraceThreshold int64 = 4 << 20
 
 // LoadSource reports where LoadCached obtained a bench's trace: the
 // in-process memo, a decoded trace-store artifact, or a fresh emulator run.
@@ -47,6 +55,24 @@ var emuRuns atomic.Int64
 // EmulatorRuns returns how many times the functional emulator has run in
 // this process (via Prepare, directly or through Load/LoadCached).
 func EmulatorRuns() int64 { return emuRuns.Load() }
+
+// analysisRuns counts executions of the static analysis pipeline
+// (core.Analyze) process-wide; the analysis-artifact tests assert it stays
+// flat on cache-warm loads.
+var analysisRuns atomic.Int64
+
+// AnalysisRuns returns how many times the full static analysis
+// (postdominators, CDG, loop forest, spawn identification) has run in this
+// process. Loads served from a stored polyflow-analysis/1 artifact do not
+// advance it.
+func AnalysisRuns() int64 { return analysisRuns.Load() }
+
+// analyze is the package's single gateway to core.Analyze, so the counter
+// above cannot drift from reality.
+func analyze(prog *isa.Program, extraTargets map[uint64][]uint64) (*core.Analysis, error) {
+	analysisRuns.Add(1)
+	return core.Analyze(prog, extraTargets)
+}
 
 // benchEntry memoizes one workload's preparation. The once-per-name design
 // lets distinct workloads prepare concurrently — a global lock held across
@@ -112,20 +138,20 @@ func LoadCached(name string, cache *artifact.Cache) (*Bench, LoadSource, error) 
 func prepareCached(w workloads.Workload, cache *artifact.Cache) (*Bench, LoadSource, error) {
 	srcSHA := artifact.SourceSHA(w.Source)
 	prog := w.Assemble()
-	var hash string
+	var traceHash, anHash string
 	if cache != nil {
 		if key, err := artifact.NewTraceKey(w.Name, srcSHA, w.MaxInstrs); err == nil {
-			hash = key.Hash()
-			if data, ok, gerr := cache.Get(hash); gerr == nil && ok {
-				if tr, deps, derr := tracestore.Decode(data); derr == nil {
-					b, ferr := FromTrace(w.Name, prog, tr, deps, w.MaxInstrs, srcSHA)
-					if ferr == nil {
-						return b, LoadTraceArtifact, nil
-					}
-				}
-				// A corrupt stored artifact falls through to emulation;
-				// the fresh product overwrites it below.
+			traceHash = key.Hash()
+		}
+		if key, err := artifact.NewAnalysisKey(w.Name, srcSHA, w.MaxInstrs); err == nil {
+			anHash = key.Hash()
+		}
+		if traceHash != "" {
+			if b, ok := benchFromArtifacts(w, prog, cache, traceHash, anHash, srcSHA); ok {
+				return b, LoadTraceArtifact, nil
 			}
+			// A missing or corrupt stored artifact falls through to
+			// emulation; the fresh product overwrites it below.
 		}
 	}
 	b, err := Prepare(w.Name, prog, w.MaxInstrs)
@@ -133,12 +159,72 @@ func prepareCached(w workloads.Workload, cache *artifact.Cache) (*Bench, LoadSou
 		return nil, 0, err
 	}
 	b.SourceSHA = srcSHA
-	if cache != nil && hash != "" {
+	if cache != nil && traceHash != "" {
 		if data, eerr := tracestore.Encode(b.Trace, b.Deps); eerr == nil {
-			_ = cache.Put(hash, data) // best-effort: a store failure only costs a future re-emulation
+			_ = cache.Put(traceHash, data) // best-effort: a store failure only costs a future re-emulation
 		}
+		storeAnalysis(cache, anHash, b.Analysis)
 	}
 	return b, LoadEmulated, nil
+}
+
+// benchFromArtifacts serves a load entirely from the artifact cache: the
+// trace from its polyflow-trace/1 artifact (streamed lazily above
+// LazyTraceThreshold) and, when present, the static analysis from its
+// polyflow-analysis/1 artifact, skipping re-analysis. Any failure reports
+// ok=false and the caller re-emulates.
+func benchFromArtifacts(w workloads.Workload, prog *isa.Program, cache *artifact.Cache, traceHash, anHash, srcSHA string) (*Bench, bool) {
+	h, ok, err := cache.Open(traceHash)
+	if err != nil || !ok {
+		return nil, false
+	}
+	defer h.Close()
+	var tr *trace.Trace
+	var deps *trace.Deps
+	if h.Size() >= LazyTraceThreshold {
+		tr, deps, err = tracestore.Open(h, h.Size()).Load()
+	} else {
+		buf := make([]byte, h.Size())
+		if _, err = io.ReadFull(io.NewSectionReader(h, 0, h.Size()), buf); err == nil {
+			tr, deps, err = tracestore.Decode(buf)
+		}
+	}
+	if err != nil {
+		return nil, false
+	}
+	if anHash != "" {
+		if data, hit, gerr := cache.Get(anHash); gerr == nil && hit {
+			if an, derr := core.DecodeAnalysis(prog, data); derr == nil {
+				return &Bench{
+					Name:      w.Name,
+					Prog:      prog,
+					Trace:     tr,
+					Deps:      deps,
+					Analysis:  an,
+					SourceSHA: srcSHA,
+					MaxInstrs: w.MaxInstrs,
+				}, true
+			}
+			// A corrupt analysis artifact just costs a re-analysis below.
+		}
+	}
+	b, ferr := FromTrace(w.Name, prog, tr, deps, w.MaxInstrs, srcSHA)
+	if ferr != nil {
+		return nil, false
+	}
+	storeAnalysis(cache, anHash, b.Analysis)
+	return b, true
+}
+
+// storeAnalysis writes the analysis artifact, best-effort: a failure only
+// costs a future re-analysis.
+func storeAnalysis(cache *artifact.Cache, anHash string, an *core.Analysis) {
+	if cache == nil || anHash == "" || an == nil {
+		return
+	}
+	if data, err := core.EncodeAnalysis(an); err == nil {
+		_ = cache.Put(anHash, data)
+	}
 }
 
 // FromTrace builds a bench from an already-decoded trace and its dependence
@@ -148,7 +234,7 @@ func prepareCached(w workloads.Workload, cache *artifact.Cache) (*Bench, LoadSou
 // cross-validation, plus content addressing, guard it); the architectural
 // re-check happens once, when the trace is first produced by Prepare.
 func FromTrace(name string, prog *isa.Program, tr *trace.Trace, deps *trace.Deps, maxInstrs int, sourceSHA string) (*Bench, error) {
-	an, err := core.Analyze(prog, tr.IndirectTargets())
+	an, err := analyze(prog, tr.IndirectTargets())
 	if err != nil {
 		return nil, fmt.Errorf("speculate: analyzing %s: %w", name, err)
 	}
