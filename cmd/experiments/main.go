@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/server"
 )
 
@@ -45,6 +46,7 @@ var (
 	cacheDir      = flag.String("cache-dir", "", "memoize simulations in a content-addressed artifact cache rooted at this directory")
 	traceCacheDir = flag.String("trace-cache", "", "store workload traces as polyflow-trace/1 artifacts in a cache rooted at this directory (decode once, simulate many; defaults to -cache-dir when set)")
 	cluster       = flag.String("cluster", "", "execute every cell on a remote polyflowd (single daemon or cluster coordinator) at this base URL instead of simulating locally")
+	maskStr       = flag.String("mask", "", `suppress spawn sites in every PolyFlow cell, e.g. "0x40:loop" (polytune emits these; the superscalar column stays unmasked)`)
 )
 
 func main() {
@@ -100,6 +102,11 @@ func options() (harness.Options, error) {
 		TraceDir:  *traces,
 		AttribDir: *attribs,
 	}
+	mask, err := machine.ParseSpawnMask(*maskStr)
+	if err != nil {
+		return o, err
+	}
+	o.SpawnMask = mask
 	if *cacheDir != "" {
 		cache, err := artifact.New(artifact.Options{Dir: *cacheDir})
 		if err != nil {

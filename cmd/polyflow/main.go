@@ -44,6 +44,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry metrics summary after the run")
 	attribFile := flag.String("attrib", "", "write the per-spawn-site attribution report as JSON to this file")
+	maskStr := flag.String("mask", "", `suppress spawn sites, e.g. "0x40:loop,0x100:hammock" (polytune emits these; meaningless with -policy superscalar)`)
 	traceOut := flag.String("trace-out", "", "write the workload's binary trace artifact (polyflow-trace/1) to this file")
 	traceIn := flag.String("trace-in", "", "load the workload's trace from this polyflow-trace/1 file instead of emulating (as written by -trace-out or served by GET /v1/traces)")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (e.g. 30s; 0 = no limit)")
@@ -77,7 +78,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile, *traceOut, *traceIn); err != nil {
+	if err := run(ctx, *benchName, *policyName, *tasks, *verbose, *traceFile, *metrics, *attribFile, *traceOut, *traceIn, *maskStr); err != nil {
 		fmt.Fprintln(os.Stderr, "polyflow:", err)
 		os.Exit(1)
 	}
@@ -97,9 +98,15 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile, traceOut, traceIn string) error {
+func run(ctx context.Context, benchName, policyName string, tasks int, verbose bool, traceFile string, metrics bool, attribFile, traceOut, traceIn, maskStr string) error {
+	mask, err := machine.ParseSpawnMask(maskStr)
+	if err != nil {
+		return err
+	}
+	if mask.Len() > 0 && policyName == "superscalar" {
+		return fmt.Errorf("-mask is meaningless for the superscalar baseline (no spawns to suppress)")
+	}
 	var b *speculate.Bench
-	var err error
 	if traceIn != "" {
 		data, rerr := os.ReadFile(traceIn)
 		if rerr != nil {
@@ -169,6 +176,10 @@ func run(ctx context.Context, benchName, policyName string, tasks int, verbose b
 	cfg.MaxTasks = tasks
 	cfg.Telemetry = col
 	cfg.Attribution = tbl
+	cfg.SpawnMask = mask
+	if mask.Len() > 0 {
+		fmt.Printf("  suppressing %d spawn sites: %s\n", mask.Len(), mask.Encode())
+	}
 	res, err := b.RunNamedContext(ctx, policyName, cfg)
 	if err != nil {
 		return err

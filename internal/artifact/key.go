@@ -25,7 +25,8 @@ import (
 
 // KeySchema identifies the key layout. Bump on any change to the fields
 // hashed into a key — old cache entries then miss instead of aliasing.
-const KeySchema = "polyflow-sim-key/1"
+// v2 added the spawn-site mask to the configuration fingerprint.
+const KeySchema = "polyflow-sim-key/2"
 
 // ErrUncacheable marks inputs whose identity cannot be captured in a key:
 // a bench prepared from an unregistered source, or a configuration with a
@@ -119,6 +120,7 @@ type configKey struct {
 	SpawnLatency       int
 	ProfitPatience     int
 	ProfitMinTaskLen   int
+	SpawnMask          string
 	HintCacheLog2      int
 	ReclaimROB         bool
 	WarmupInstrs       int
@@ -162,6 +164,7 @@ func ConfigFingerprint(cfg machine.Config) (string, error) {
 		SpawnLatency:       cfg.SpawnLatency,
 		ProfitPatience:     cfg.ProfitPatience,
 		ProfitMinTaskLen:   cfg.ProfitMinTaskLen,
+		SpawnMask:          cfg.SpawnMask.Encode(),
 		HintCacheLog2:      cfg.HintCacheLog2,
 		ReclaimROB:         cfg.ReclaimROB,
 		WarmupInstrs:       cfg.WarmupInstrs,

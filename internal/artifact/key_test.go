@@ -71,6 +71,29 @@ func TestConfigFingerprintCoversEveryField(t *testing.T) {
 			continue
 		}
 
+		if f.Name == "SpawnMask" {
+			// Semantic, but not a scalar: an empty mask must not move the
+			// fingerprint (nil and empty are the same mask), a non-empty one
+			// must.
+			cfg.SpawnMask = machine.NewSpawnMask()
+			fp, err := ConfigFingerprint(cfg)
+			if err != nil {
+				t.Fatalf("empty SpawnMask: fingerprint failed: %v", err)
+			}
+			if fp != baseFP {
+				t.Errorf("attaching an empty SpawnMask changed the fingerprint; nil and empty masks are the same mask")
+			}
+			cfg.SpawnMask.Add(0x40, 0)
+			fp, err = ConfigFingerprint(cfg)
+			if err != nil {
+				t.Fatalf("non-empty SpawnMask: fingerprint failed: %v", err)
+			}
+			if fp == baseFP {
+				t.Errorf("a non-empty SpawnMask did not change the fingerprint — masked candidates would alias unmasked cache entries")
+			}
+			continue
+		}
+
 		v := reflect.ValueOf(&cfg).Elem().Field(i)
 		switch v.Kind() {
 		case reflect.Int, reflect.Int64:
@@ -115,8 +138,20 @@ func TestKeyHashMoves(t *testing.T) {
 	if k, err := NewSimKey("gzip", SourceSHA("src"), 1000, "postdoms", cfg2); err == nil {
 		variants = append(variants, k)
 	}
-	if len(variants) != 4 {
-		t.Fatalf("built %d variants, want 4", len(variants))
+	cfg3 := cfg
+	cfg3.SpawnMask = machine.NewSpawnMask()
+	cfg3.SpawnMask.Add(0x40, 0)
+	if k, err := NewSimKey("gzip", SourceSHA("src"), 1000, "postdoms", cfg3); err == nil {
+		variants = append(variants, k)
+	}
+	cfg4 := cfg
+	cfg4.SpawnMask = machine.NewSpawnMask()
+	cfg4.SpawnMask.Add(0x40, 1)
+	if k, err := NewSimKey("gzip", SourceSHA("src"), 1000, "postdoms", cfg4); err == nil {
+		variants = append(variants, k)
+	}
+	if len(variants) != 6 {
+		t.Fatalf("built %d variants, want 6", len(variants))
 	}
 	seen := map[string]bool{k1.Hash(): true}
 	for i, k := range variants {

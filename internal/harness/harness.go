@@ -74,6 +74,14 @@ type Options struct {
 	// TraceDir is incompatible with Remote (telemetry needs a live local
 	// run); AttribDir works, fed from the artifact's embedded report.
 	Remote *server.Client
+	// SpawnMask, when non-nil and non-empty, suppresses the masked spawn
+	// sites in every PolyFlow cell of the grid (the superscalar baseline
+	// has no spawns and runs unmasked), locally or remotely. This is how a
+	// polytune-found mask is replayed across the figure tables:
+	// `experiments -mask "$(polytune best ...)"`. Masked cells have their
+	// own artifact-cache identities, so tuned and untuned grids coexist in
+	// one cache.
+	SpawnMask *machine.SpawnMask
 }
 
 // traceCache returns the cache backing benchmark preparation.
@@ -219,6 +227,9 @@ func submitWait(ctx context.Context, pool *jobqueue.Pool, job jobqueue.Job) (*jo
 func (o Options) runCell(ctx context.Context, b *speculate.Bench, colName string, baseCfg machine.Config,
 	sim func(ctx context.Context, cfg machine.Config) (machine.Result, error)) (machine.Result, error) {
 
+	if o.SpawnMask.Len() > 0 && colName != "superscalar" {
+		baseCfg.SpawnMask = o.SpawnMask
+	}
 	if o.Remote != nil {
 		return o.runCellRemote(ctx, b.Name, colName)
 	}
@@ -277,6 +288,9 @@ func (o Options) runCellRemote(ctx context.Context, bench, colName string) (mach
 		return machine.Result{}, errors.New("harness: -trace-dir needs a live local run, not a remote grid")
 	}
 	req := server.Request{Bench: bench, Policy: colName}
+	if o.SpawnMask.Len() > 0 && colName != "superscalar" {
+		req.SpawnMask = o.SpawnMask.Encode()
+	}
 	var st server.Status
 	for {
 		var code int

@@ -72,6 +72,17 @@ type Config struct {
 	ProfitPatience   int
 	ProfitMinTaskLen int
 
+	// SpawnMask, when non-nil and non-empty, suppresses individual spawn
+	// sites by (trigger PC, kind): the Task Spawn Unit skips masked sites
+	// entirely — no spawn, no rejection count, no attribution charge — as
+	// if the analysis had never emitted them. A nil or empty mask changes
+	// nothing (bit-identical to a maskless run). Unlike the observer
+	// attachments below, the mask is semantic: it alters the simulated
+	// outcome and therefore participates in the artifact-cache key
+	// (internal/artifact hashes its canonical encoding). internal/tune
+	// searches over masks; see docs/TUNING.md.
+	SpawnMask *SpawnMask
+
 	// HintCacheLog2 models capacity/conflict misses in the spawn hint
 	// cache as a direct-mapped tag store of 2^HintCacheLog2 entries,
 	// filled on demand from the binary's hint section; a missing entry

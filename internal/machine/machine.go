@@ -162,6 +162,7 @@ type sim struct {
 	viols      []violation
 	profit     *profitTable // spawn-point profitability scores
 	hintTags   []uint64     // finite hint cache tags (nil = unmodeled)
+	mask       *SpawnMask   // suppressed spawn sites (nil = none)
 	stats      Stats
 
 	samples       []float64
@@ -302,6 +303,11 @@ func RunContext(ctx context.Context, tr *trace.Trace, deps *trace.Deps, src core
 	}
 	if cfg.HintCacheLog2 > 0 {
 		s.hintTags = make([]uint64, 1<<cfg.HintCacheLog2)
+	}
+	if cfg.SpawnMask.Len() > 0 {
+		// An empty mask stays nil here so the hot path's nil check keeps a
+		// maskless run bit-identical to one with an empty mask attached.
+		s.mask = cfg.SpawnMask
 	}
 	if cfg.Attribution != nil {
 		s.att = cfg.Attribution
@@ -956,6 +962,12 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 		}
 	}
 	for _, sp := range spawns {
+		if s.mask != nil && s.mask.Contains(sp.From, uint8(sp.Kind)) {
+			// Suppressed site: skip without counting a rejection or touching
+			// attribution — the site must charge nothing, as if the analysis
+			// had never emitted it (VerifyAttribution relies on this).
+			continue
+		}
 		if !s.spawnAllowed(sp.From) {
 			s.stats.SpawnsRejected++
 			if s.att != nil {
@@ -1027,6 +1039,9 @@ func (s *sim) trySpawn(t *task, i int, pc uint64) {
 // task allowed to spawn.
 func (s *sim) viableSpawn(t *task, i int, pc uint64) bool {
 	for _, sp := range s.src.SpawnsAt(pc) {
+		if s.mask != nil && s.mask.Contains(sp.From, uint8(sp.Kind)) {
+			continue // masked sites are never viable
+		}
 		if !s.spawnAllowed(sp.From) {
 			continue
 		}

@@ -1,0 +1,185 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/attrib"
+	"repro/internal/core"
+)
+
+func TestSpawnMaskCodecRoundTrip(t *testing.T) {
+	m := NewSpawnMask()
+	// Insert out of canonical order, with a duplicate.
+	m.Add(0x100, uint8(core.KindHammock))
+	m.Add(0x40, uint8(core.KindLoop))
+	m.Add(0x40, uint8(core.KindLoopFT))
+	m.Add(0x40, uint8(core.KindLoop))
+
+	enc := m.Encode()
+	want := "0x40:loop,0x40:loopFT,0x100:hammock"
+	if enc != want {
+		t.Fatalf("Encode() = %q, want %q", enc, want)
+	}
+	back, err := ParseSpawnMask(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Encode() != enc {
+		t.Fatalf("round trip: %q -> %q", enc, back.Encode())
+	}
+	if back.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", back.Len())
+	}
+	if !back.Contains(0x40, uint8(core.KindLoop)) || back.Contains(0x40, uint8(core.KindHammock)) {
+		t.Fatal("membership does not match the encoded entries")
+	}
+}
+
+func TestSpawnMaskOneEncodingPerMask(t *testing.T) {
+	// Any entry order and duplication in the input must re-encode to the
+	// same canonical bytes.
+	inputs := []string{
+		"0x100:hammock,0x40:loop,0x40:loopFT",
+		"0x40:loopFT,0x40:loop,0x100:hammock,0x40:loop",
+		"0x040:loop,0x40:loopFT,0x0100:hammock",
+	}
+	want := "0x40:loop,0x40:loopFT,0x100:hammock"
+	for _, in := range inputs {
+		m, err := ParseSpawnMask(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got := m.Encode(); got != want {
+			t.Fatalf("ParseSpawnMask(%q).Encode() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpawnMaskNilAndEmpty(t *testing.T) {
+	var nilMask *SpawnMask
+	if nilMask.Len() != 0 || nilMask.Contains(1, 0) || nilMask.Encode() != "" {
+		t.Fatal("nil mask is not inert")
+	}
+	if NewSpawnMask().Encode() != "" {
+		t.Fatal("empty mask must encode to the empty string, like nil")
+	}
+	m, err := ParseSpawnMask("")
+	if err != nil || m != nil {
+		t.Fatalf("ParseSpawnMask(\"\") = %v, %v; want nil, nil", m, err)
+	}
+	with := nilMask.With(0x40, 0)
+	if with.Len() != 1 || nilMask.Len() != 0 {
+		t.Fatal("With must copy, not mutate")
+	}
+}
+
+func TestSpawnMaskParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0x40",            // no kind
+		"64:loop",         // not hex-prefixed
+		"0xzz:loop",       // bad hex
+		"0x40:root",       // the root pseudo-kind never spawns
+		"0x40:bogus",      // unknown kind
+		"0x40:loop,,",     // empty entry
+		"0x40:loop, ,0x1", // empty entry after trimming
+	} {
+		if _, err := ParseSpawnMask(bad); err == nil {
+			t.Errorf("ParseSpawnMask(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestSpawnMaskEmptyIsNoOp: attaching an empty (or nil) mask must be
+// bit-identical to no mask at all, on both schedulers.
+func TestSpawnMaskEmptyIsNoOp(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	for _, polled := range []bool{false, true} {
+		cfg := PolyFlowConfig()
+		cfg.PolledScheduler = polled
+		base, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.SpawnMask = NewSpawnMask()
+		masked, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, masked) {
+			t.Fatalf("polled=%v: empty mask changed the run:\nbase:   %+v\nmasked: %+v", polled, base, masked)
+		}
+	}
+}
+
+// TestSpawnMaskFullSuppressionMatchesNoSpawns: masking every analyzed spawn
+// site must behave exactly like running with no spawn source at all.
+func TestSpawnMaskFullSuppressionMatchesNoSpawns(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	none, err := Run(tr, nil, nil, PolyFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := NewSpawnMask()
+	for _, sp := range a.Spawns {
+		mask.Add(sp.From, uint8(sp.Kind))
+	}
+	cfg := PolyFlowConfig()
+	cfg.SpawnMask = mask
+	masked, err := Run(tr, nil, core.PolicyPostdoms.Source(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.SpawnsTaken != 0 || masked.SpawnsRejected != 0 {
+		t.Fatalf("fully masked run still touched the TSU: %d taken, %d rejected",
+			masked.SpawnsTaken, masked.SpawnsRejected)
+	}
+	if masked.Cycles != none.Cycles || masked.Retired != none.Retired {
+		t.Fatalf("fully masked run (%d cycles) differs from sourceless run (%d cycles)",
+			masked.Cycles, none.Cycles)
+	}
+}
+
+// TestSpawnMaskedSitesChargeNothing: under a non-empty mask the per-site
+// attribution must still reconcile exactly with the machine counters, and
+// the masked site must have no record at all — not even rejections.
+func TestSpawnMaskedSitesChargeNothing(t *testing.T) {
+	_, tr, a := prep(t, hardHammockLoop)
+	src := core.PolicyPostdoms.Source(a)
+
+	cfg := PolyFlowConfig()
+	cfg.Attribution = attrib.NewTable()
+	res, err := Run(tr, nil, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAttribution(cfg.Attribution, res); err != nil {
+		t.Fatal(err)
+	}
+	// Pick the busiest non-root site to suppress.
+	var pc uint64
+	var kind uint8
+	var most int64 = -1
+	cfg.Attribution.ForEach(func(p uint64, k uint8, st *attrib.SiteStats) {
+		if k != attrib.Root && st.Spawns+st.Rejected > most {
+			pc, kind, most = p, k, st.Spawns+st.Rejected
+		}
+	})
+	if most <= 0 {
+		t.Fatal("no active spawn site to mask")
+	}
+
+	cfg.SpawnMask = NewSpawnMask()
+	cfg.SpawnMask.Add(pc, kind)
+	cfg.Attribution = attrib.NewTable()
+	masked, err := Run(tr, nil, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAttribution(cfg.Attribution, masked); err != nil {
+		t.Fatalf("attribution no longer reconciles under a mask: %v", err)
+	}
+	if st := cfg.Attribution.Lookup(pc, kind); st != nil {
+		t.Fatalf("masked site 0x%x:%s still charged: %+v", pc, attrib.KindName(kind), *st)
+	}
+}

@@ -81,3 +81,19 @@ func FuzzAttribution(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSpawnMask draws a random spawn mask over each generated program's
+// analyzed site universe and requires the mask codec to round-trip
+// canonically, both schedulers to agree bit-for-bit under the mask,
+// attribution to reconcile exactly with masked sites charging nothing,
+// and the empty mask to be a no-op.
+func FuzzSpawnMask(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := CheckSpawnMaskSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -163,6 +163,7 @@ func (j *job) statusLocked() Status {
 		ID:        j.id,
 		Bench:     j.req.Bench,
 		Policy:    j.req.Policy,
+		SpawnMask: j.req.SpawnMask,
 		State:     j.state.String(),
 		CacheHit:  j.cacheHit,
 		Submitted: j.submitted,

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+func TestSpawnMaskValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{Runner: stubRunner([]byte(`{}`), nil)})
+	ctx := context.Background()
+
+	if _, code, err := c.Submit(ctx, Request{Bench: "gzip", Policy: "superscalar", SpawnMask: "0x40:loop"}); err == nil || code != http.StatusBadRequest {
+		t.Fatalf("superscalar+mask: code=%d err=%v, want 400", code, err)
+	}
+	if _, code, err := c.Submit(ctx, Request{Bench: "gzip", Policy: "postdoms", SpawnMask: "40:loop"}); err == nil || code != http.StatusBadRequest {
+		t.Fatalf("unparseable mask: code=%d err=%v, want 400", code, err)
+	}
+	if _, code, err := c.Submit(ctx, Request{Bench: "gzip", Policy: "postdoms", SpawnMask: "0x40:root"}); err == nil || code != http.StatusBadRequest {
+		t.Fatalf("root-kind mask: code=%d err=%v, want 400", code, err)
+	}
+	// A well-formed mask on a spawning policy is accepted, and the status
+	// echoes it back for observability.
+	st, code, err := c.Submit(ctx, Request{Bench: "gzip", Policy: "postdoms", SpawnMask: "0x40:loop"})
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("valid mask rejected: code=%d err=%v", code, err)
+	}
+	if st.SpawnMask != "0x40:loop" {
+		t.Fatalf("status does not echo the mask: %+v", st)
+	}
+}
+
+// TestSpawnMaskCacheIdentity pins the mask's artifact-cache contract
+// through the daemon: the same semantic mask — even spelled in a different
+// entry order — dedups to one cache entry, while distinct masks (and the
+// maskless run) never collide.
+func TestSpawnMaskCacheIdentity(t *testing.T) {
+	cache, err := artifact.New(artifact.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, Config{Cache: cache})
+	ctx := context.Background()
+
+	submit := func(mask string) (Status, []byte) {
+		t.Helper()
+		st, _, err := c.Submit(ctx, Request{Bench: "gzip", Policy: "postdoms", SpawnMask: mask})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != "succeeded" {
+			t.Fatalf("mask %q: state %q (%s)", mask, fin.State, fin.Error)
+		}
+		data, err := c.ResultBytes(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fin, data
+	}
+
+	cold, coldBytes := submit("0x40:loop,0x100:hammock")
+	if cold.CacheHit {
+		t.Fatal("cold masked job reported a cache hit")
+	}
+	// Same mask, non-canonical spelling: must hit and serve identical bytes.
+	warm, warmBytes := submit("0x100:hammock,0x040:loop")
+	if !warm.CacheHit {
+		t.Fatal("same semantic mask missed the cache")
+	}
+	if string(coldBytes) != string(warmBytes) {
+		t.Fatal("cached masked artifact differs from the cold run")
+	}
+	// A different mask is a different identity.
+	other, otherBytes := submit("0x40:loop")
+	if other.CacheHit {
+		t.Fatal("a distinct mask hit the cache")
+	}
+	if string(otherBytes) == string(coldBytes) {
+		t.Fatal("distinct masks served identical artifacts")
+	}
+	// And the maskless run is its own identity too.
+	plain, _ := submit("")
+	if plain.CacheHit {
+		t.Fatal("maskless run collided with a masked entry")
+	}
+}

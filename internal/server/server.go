@@ -65,6 +65,13 @@ type Request struct {
 	// the samples land in the result artifact, so it participates in the
 	// cache key.
 	SampleInterval int64 `json:"sample_interval,omitempty"`
+	// SpawnMask suppresses individual spawn sites, in the canonical
+	// "0xPC:kind,..." encoding of machine.ParseSpawnMask. Semantic: each
+	// distinct mask is its own artifact-cache identity, so re-evaluating a
+	// candidate (polytune does this constantly) is a warm hit while two
+	// different masks can never alias. Rejected for the superscalar
+	// baseline, which has no spawns to suppress.
+	SpawnMask string `json:"spawn_mask,omitempty"`
 }
 
 // Progress is the payload of an SSE progress event.
@@ -78,6 +85,7 @@ type Status struct {
 	ID         string    `json:"id"`
 	Bench      string    `json:"bench"`
 	Policy     string    `json:"policy"`
+	SpawnMask  string    `json:"spawn_mask,omitempty"`
 	State      string    `json:"state"`
 	Error      string    `json:"error,omitempty"`
 	CacheHit   bool      `json:"cache_hit"`
@@ -329,6 +337,11 @@ func (s *Server) simulate(ctx context.Context, req Request, progress ProgressFun
 	}
 	baseCfg := baseConfig(req.Policy)
 	baseCfg.SampleInterval = req.SampleInterval
+	mask, err := machine.ParseSpawnMask(req.SpawnMask)
+	if err != nil {
+		return nil, false, err
+	}
+	baseCfg.SpawnMask = mask
 	key, err := artifact.NewSimKey(b.Name, b.SourceSHA, b.MaxInstrs, req.Policy, baseCfg)
 	if err != nil {
 		return nil, false, err
@@ -377,6 +390,14 @@ func validate(req Request) error {
 	}
 	if req.SampleInterval < 0 {
 		return fmt.Errorf("negative sample_interval %d", req.SampleInterval)
+	}
+	if req.SpawnMask != "" {
+		if req.Policy == "superscalar" {
+			return fmt.Errorf("spawn_mask is meaningless for the superscalar baseline (no spawns to suppress)")
+		}
+		if _, err := machine.ParseSpawnMask(req.SpawnMask); err != nil {
+			return fmt.Errorf("bad spawn_mask: %w", err)
+		}
 	}
 	return nil
 }

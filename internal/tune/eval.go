@@ -1,0 +1,210 @@
+// Package tune searches for per-site spawn-mask configurations that beat a
+// policy's default spawn behavior. The attribution loop closes here: a run's
+// per-site report (internal/attrib) ranks spawn sites by wasted cycles, the
+// search proposes suppressing the worst offenders (machine.Config.SpawnMask),
+// and every candidate is evaluated as a normal simulation — locally through
+// the artifact cache or remotely through a polyflowd daemon — so repeated
+// candidates are deduplicated by content address, never resimulated.
+//
+// The search itself is deterministic: candidates are ranked by observed
+// wasted cycles (ties broken by PC, then kind), and acceptance is a strict
+// cycle-count improvement. The seed only matters when Options.Explore adds
+// extra pseudo-randomly drawn candidates per round; with Explore = 0 every
+// seed produces the identical trajectory. See docs/TUNING.md.
+package tune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/artifact"
+	"repro/internal/attrib"
+	"repro/internal/jobqueue"
+	"repro/internal/machine"
+	"repro/internal/server"
+)
+
+// Outcome is one candidate's evaluation: the simulation result, the
+// per-site attribution report that seeds the next round's ranking, and
+// whether the artifact cache (local or the daemon's) already held it.
+type Outcome struct {
+	Result   machine.Result
+	Report   *attrib.Report
+	CacheHit bool
+}
+
+// Evaluator runs one simulation of the tuned (bench, policy) pair under a
+// candidate spawn mask. A nil mask is the unsuppressed baseline.
+type Evaluator interface {
+	Evaluate(ctx context.Context, mask *machine.SpawnMask) (Outcome, error)
+}
+
+// LocalEvaluator simulates in-process, mirroring the polyflowd compute
+// path: attribution is always attached and verified, and results are
+// memoized in the artifact cache when one is configured and the bench is
+// cacheable (registered workloads are; ad-hoc benches without a SourceSHA
+// run uncached).
+type LocalEvaluator struct {
+	Bench  *speculate.Bench
+	Policy string
+	// Cache, when non-nil, memoizes evaluations under the same
+	// content-addressed identity the daemon and the harness use — a tuning
+	// run against a warm cache replays instead of resimulating.
+	Cache *artifact.Cache
+	// Pool, when non-nil, runs each evaluation as a jobqueue job so tuning
+	// shares the scheduling discipline (and worker bound) of served
+	// traffic. A full queue is waited out, not an error.
+	Pool *jobqueue.Pool
+}
+
+// Evaluate runs one candidate. The config is the canonical PolyFlow
+// configuration — the same one polyflowd and the harness grids use — so
+// cache identities line up across all three entry points.
+func (e *LocalEvaluator) Evaluate(ctx context.Context, mask *machine.SpawnMask) (Outcome, error) {
+	if e.Pool != nil {
+		return e.evaluateOnPool(ctx, mask)
+	}
+	return e.evaluate(ctx, mask)
+}
+
+func (e *LocalEvaluator) evaluate(ctx context.Context, mask *machine.SpawnMask) (Outcome, error) {
+	baseCfg := machine.PolyFlowConfig()
+	baseCfg.SpawnMask = mask
+
+	// The compute closure mirrors polyflowd's: the same key is embedded in
+	// the artifact, so a tuning run and a served job against a shared cache
+	// directory produce byte-identical entries.
+	key, keyErr := artifact.NewSimKey(e.Bench.Name, e.Bench.SourceSHA, e.Bench.MaxInstrs, e.Policy, baseCfg)
+	if keyErr != nil && !errors.Is(keyErr, artifact.ErrUncacheable) {
+		return Outcome{}, keyErr
+	}
+	compute := func(ctx context.Context) ([]byte, error) {
+		cfg := baseCfg
+		tbl := attrib.NewTable()
+		cfg.Attribution = tbl
+		res, err := e.Bench.RunNamedContext(ctx, e.Policy, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := machine.VerifyAttribution(tbl, res); err != nil {
+			return nil, err
+		}
+		rep := attrib.NewReport(tbl, e.Bench.Name, e.Policy, res.Config, res.Cycles, res.Retired)
+		return artifact.EncodeSim(&artifact.SimArtifact{Key: key, Result: res, Attrib: rep})
+	}
+
+	var (
+		data []byte
+		hit  bool
+		err  error
+	)
+	if e.Cache != nil && keyErr == nil {
+		data, hit, err = e.Cache.GetOrCompute(ctx, key.Hash(), compute)
+	} else {
+		// Ad-hoc benches without a SourceSHA are uncacheable: plain run.
+		data, err = compute(ctx)
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	art, err := artifact.DecodeSim(data)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Result: art.Result, Report: art.Attrib, CacheHit: hit}, nil
+}
+
+// evaluateOnPool wraps the evaluation in a jobqueue job. ErrQueueFull is
+// backpressure, not failure: the submission is retried until accepted.
+func (e *LocalEvaluator) evaluateOnPool(ctx context.Context, mask *machine.SpawnMask) (Outcome, error) {
+	var out Outcome
+	job := jobqueue.Job{
+		ID: fmt.Sprintf("tune/%s/%s[%s]", e.Bench.Name, e.Policy, mask.Encode()),
+		Fn: func(ctx context.Context) error {
+			var err error
+			out, err = e.evaluate(ctx, mask)
+			return err
+		},
+	}
+	for {
+		h, err := e.Pool.Submit(job)
+		if err == nil {
+			if werr := h.Wait(ctx); werr != nil {
+				return Outcome{}, werr
+			}
+			return out, nil
+		}
+		if !errors.Is(err, jobqueue.ErrQueueFull) {
+			return Outcome{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// RemoteEvaluator drives a polyflowd daemon (or, transparently, a cluster
+// coordinator — the coordinator forwards the request wholesale). Cache
+// hits come from the daemon's terminal job status, so a warm daemon
+// serves a whole tuning round without resimulating.
+type RemoteEvaluator struct {
+	Client *server.Client
+	Bench  string
+	Policy string
+	// Poll is the status poll interval while waiting; <= 0 selects 150ms.
+	Poll time.Duration
+}
+
+// Evaluate submits the candidate as a daemon job and waits it out. A full
+// queue (HTTP 429) is waited out like local backpressure.
+func (e *RemoteEvaluator) Evaluate(ctx context.Context, mask *machine.SpawnMask) (Outcome, error) {
+	req := server.Request{Bench: e.Bench, Policy: e.Policy}
+	if mask.Len() > 0 {
+		req.SpawnMask = mask.Encode()
+	}
+	poll := e.Poll
+	if poll <= 0 {
+		poll = 150 * time.Millisecond
+	}
+
+	var st server.Status
+	for {
+		var code int
+		var err error
+		st, code, err = e.Client.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		if code != http.StatusTooManyRequests {
+			return Outcome{}, fmt.Errorf("tune: submitting %s/%s: %w", e.Bench, e.Policy, err)
+		}
+		select {
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+
+	st, err := e.Client.Wait(ctx, st.ID, poll)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if st.State != "succeeded" {
+		return Outcome{}, fmt.Errorf("tune: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	data, err := e.Client.ResultBytes(ctx, st.ID)
+	if err != nil {
+		return Outcome{}, err
+	}
+	art, err := artifact.DecodeSim(data)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Result: art.Result, Report: art.Attrib, CacheHit: st.CacheHit}, nil
+}

@@ -1,0 +1,158 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema identifies the trajectory JSON layout. Bump on incompatible
+// change; readers reject mismatched schemas instead of misreading them.
+const Schema = "polyflow-tune/1"
+
+// Step is one evaluation in a search: the candidate mask tried, the cycle
+// count it produced, and whether it became the new incumbent. Step 0 (round
+// 0, empty mask) is the baseline. CacheHit records whether the artifact
+// cache already held the run — it is environmental, says nothing about the
+// search's decisions, and is excluded from trajectory comparisons.
+type Step struct {
+	Round    int    `json:"round"`
+	Site     string `json:"site,omitempty"` // the site toggled on top of the incumbent
+	Mask     string `json:"mask"`           // full candidate mask, canonical encoding
+	Cycles   int64  `json:"cycles"`
+	Accepted bool   `json:"accepted,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+}
+
+// Trajectory is the full record of one search: its inputs (so a replay can
+// rerun it), every evaluation in order, and the final verdict. Serialized
+// deterministically, it is the unit of golden testing: two searches with
+// the same inputs against the same simulator must produce byte-identical
+// trajectories up to cache hits.
+type Trajectory struct {
+	Schema  string `json:"schema"`
+	Bench   string `json:"bench"`
+	Policy  string `json:"policy"`
+	Seed    uint64 `json:"seed"`
+	Rounds  int    `json:"rounds"`
+	TopK    int    `json:"top_k"`
+	Explore int    `json:"explore,omitempty"`
+	MinGain int64  `json:"min_gain,omitempty"`
+
+	BaselineCycles int64  `json:"baseline_cycles"`
+	BestMask       string `json:"best_mask"`
+	BestCycles     int64  `json:"best_cycles"`
+
+	Steps []Step `json:"steps"`
+}
+
+// GainPct is the headline number: percent cycles saved over the baseline.
+func (t *Trajectory) GainPct() float64 {
+	if t.BaselineCycles == 0 {
+		return 0
+	}
+	return (1 - float64(t.BestCycles)/float64(t.BaselineCycles)) * 100
+}
+
+// WriteJSON serializes the trajectory deterministically (indented JSON over
+// fixed struct fields) with a trailing newline.
+func (t *Trajectory) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the trajectory to path.
+func (t *Trajectory) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrajectory parses a trajectory and checks its schema.
+func ReadTrajectory(r io.Reader) (*Trajectory, error) {
+	var t Trajectory
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("tune: parsing trajectory: %w", err)
+	}
+	if t.Schema != Schema {
+		return nil, fmt.Errorf("tune: trajectory schema %q, want %q", t.Schema, Schema)
+	}
+	return &t, nil
+}
+
+// ReadTrajectoryFile reads a trajectory from path.
+func ReadTrajectoryFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrajectory(f)
+}
+
+// Diff is the semantic comparison of two trajectories. Cache hits are
+// deliberately ignored: whether a run was replayed from the artifact cache
+// is a property of the environment, not of the search.
+type Diff struct {
+	// Lines describe each difference, old -> new.
+	Lines []string
+	// OldBest and NewBest are the final cycle counts.
+	OldBest, NewBest int64
+}
+
+// Changed reports whether the trajectories differ semantically.
+func (d Diff) Changed() bool { return len(d.Lines) > 0 }
+
+// Regressed reports whether the new trajectory's final cycle count is
+// worse than the old one's — the CI gate condition.
+func (d Diff) Regressed() bool { return d.NewBest > d.OldBest }
+
+// Compare diffs two trajectories field by field, excluding cache hits.
+func Compare(old, new *Trajectory) Diff {
+	d := Diff{OldBest: old.BestCycles, NewBest: new.BestCycles}
+	add := func(format string, args ...any) {
+		d.Lines = append(d.Lines, fmt.Sprintf(format, args...))
+	}
+	scalar := func(name string, o, n any) {
+		if o != n {
+			add("%s: %v -> %v", name, o, n)
+		}
+	}
+	scalar("bench", old.Bench, new.Bench)
+	scalar("policy", old.Policy, new.Policy)
+	scalar("seed", old.Seed, new.Seed)
+	scalar("rounds", old.Rounds, new.Rounds)
+	scalar("top_k", old.TopK, new.TopK)
+	scalar("explore", old.Explore, new.Explore)
+	scalar("min_gain", old.MinGain, new.MinGain)
+	scalar("baseline_cycles", old.BaselineCycles, new.BaselineCycles)
+	scalar("best_mask", old.BestMask, new.BestMask)
+	scalar("best_cycles", old.BestCycles, new.BestCycles)
+	n := len(old.Steps)
+	if len(new.Steps) != n {
+		add("steps: %d -> %d", len(old.Steps), len(new.Steps))
+		if len(new.Steps) < n {
+			n = len(new.Steps)
+		}
+	}
+	for i := 0; i < n; i++ {
+		o, w := old.Steps[i], new.Steps[i]
+		o.CacheHit, w.CacheHit = false, false
+		if o != w {
+			add("step %d: %+v -> %+v", i, o, w)
+		}
+	}
+	return d
+}

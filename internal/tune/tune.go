@@ -1,0 +1,221 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/attrib"
+	"repro/internal/machine"
+)
+
+// Options parameterize a Search. Bench and Policy label the trajectory
+// (the Evaluator already binds them); the rest shape the search.
+type Options struct {
+	Bench  string
+	Policy string
+	// Seed feeds the exploration draw. With Explore == 0 the search never
+	// consults it and every seed yields the identical trajectory.
+	Seed uint64
+	// Rounds bounds accepted suppressions (one per round); <= 0 selects 8.
+	Rounds int
+	// TopK is how many worst-offender sites are tried per round; <= 0
+	// selects 4.
+	TopK int
+	// Explore adds this many extra candidate sites per round, drawn
+	// pseudo-randomly (seeded) from the remaining ranked sites beyond the
+	// top K. Zero keeps the search fully deterministic.
+	Explore int
+	// MinGain is the cycle improvement a candidate must deliver to be
+	// accepted; <= 0 selects 1 (any strict improvement).
+	MinGain int64
+	// Log, when non-nil, receives one line per evaluation.
+	Log func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Rounds <= 0 {
+		o.Rounds = 8
+	}
+	if o.TopK <= 0 {
+		o.TopK = 4
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// site is one maskable spawn site pulled out of a report.
+type site struct {
+	pc     uint64
+	kind   uint8
+	wasted int64
+}
+
+func (s site) String() string {
+	return fmt.Sprintf("0x%x:%s", s.pc, attrib.KindName(s.kind))
+}
+
+// rankSites orders a report's spawn sites by wasted cycles, worst first,
+// ties broken by (PC, kind) so the ranking is total and deterministic.
+// Sites already in the mask, the root pseudo-site, and sites that wasted
+// nothing are excluded — suppressing a site with zero waste can only
+// remove useful work.
+func rankSites(rep *attrib.Report, mask *machine.SpawnMask) []site {
+	var out []site
+	for i := range rep.Sites {
+		s := &rep.Sites[i]
+		kind, ok := attrib.KindByName(s.Kind)
+		if !ok || kind == attrib.Root {
+			continue
+		}
+		pc := s.PCValue()
+		if mask.Contains(pc, kind) || s.WastedCycles <= 0 {
+			continue
+		}
+		out = append(out, site{pc: pc, kind: kind, wasted: s.WastedCycles})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].wasted != out[j].wasted {
+			return out[i].wasted > out[j].wasted
+		}
+		if out[i].pc != out[j].pc {
+			return out[i].pc < out[j].pc
+		}
+		return out[i].kind < out[j].kind
+	})
+	return out
+}
+
+// splitmix64 is the exploration PRNG: tiny, seedable, and stable across
+// Go releases (unlike math/rand's generator, whose stream is only pinned
+// per major version). Determinism of recorded trajectories depends on it.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pickCandidates selects this round's candidate sites: the top K by waste,
+// plus Explore extra sites drawn without replacement from the remainder
+// using the seeded PRNG. Order within the returned slice is the evaluation
+// (and tie-breaking) order.
+func pickCandidates(ranked []site, o *Options, round int) []site {
+	k := o.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	cands := append([]site(nil), ranked[:k]...)
+	if o.Explore > 0 && k < len(ranked) {
+		rest := append([]site(nil), ranked[k:]...)
+		state := splitmix64(o.Seed ^ uint64(round)*0x9e3779b97f4a7c15)
+		for i := 0; i < o.Explore && len(rest) > 0; i++ {
+			state = splitmix64(state)
+			j := int(state % uint64(len(rest)))
+			cands = append(cands, rest[j])
+			rest = append(rest[:j], rest[j+1:]...)
+		}
+	}
+	return cands
+}
+
+// Search runs the greedy per-site suppression search: evaluate the
+// baseline, rank sites by wasted cycles, try suppressing each candidate on
+// top of the current mask, accept the best candidate if it strictly
+// improves the cycle count, and repeat until no candidate helps or the
+// round budget is spent. Every evaluation is recorded in the returned
+// trajectory, including rejected candidates, so a replay can verify the
+// full decision sequence.
+func Search(ctx context.Context, ev Evaluator, o Options) (*Trajectory, error) {
+	o.fill()
+	traj := &Trajectory{
+		Schema:  Schema,
+		Bench:   o.Bench,
+		Policy:  o.Policy,
+		Seed:    o.Seed,
+		Rounds:  o.Rounds,
+		TopK:    o.TopK,
+		Explore: o.Explore,
+		MinGain: o.MinGain,
+	}
+
+	base, err := ev.Evaluate(ctx, nil)
+	if err != nil {
+		return nil, fmt.Errorf("tune: baseline evaluation: %w", err)
+	}
+	if base.Report == nil {
+		return nil, fmt.Errorf("tune: baseline run carries no attribution report")
+	}
+	traj.BaselineCycles = base.Result.Cycles
+	traj.Steps = append(traj.Steps, Step{
+		Round:    0,
+		Mask:     "",
+		Cycles:   base.Result.Cycles,
+		Accepted: true, // the baseline is the initial incumbent
+		CacheHit: base.CacheHit,
+	})
+	o.logf("baseline %s/%s: %d cycles (cache hit: %v)",
+		o.Bench, o.Policy, base.Result.Cycles, base.CacheHit)
+
+	cur := (*machine.SpawnMask)(nil)
+	curCycles := base.Result.Cycles
+	curReport := base.Report
+
+	for round := 1; round <= o.Rounds; round++ {
+		ranked := rankSites(curReport, cur)
+		if len(ranked) == 0 {
+			o.logf("round %d: no sites left wasting cycles; converged", round)
+			break
+		}
+		cands := pickCandidates(ranked, &o, round)
+
+		bestIdx := -1
+		var bestOut Outcome
+		for i, c := range cands {
+			mask := cur.With(c.pc, c.kind)
+			out, err := ev.Evaluate(ctx, mask)
+			if err != nil {
+				return nil, fmt.Errorf("tune: round %d candidate %s: %w", round, c, err)
+			}
+			traj.Steps = append(traj.Steps, Step{
+				Round:    round,
+				Site:     c.String(),
+				Mask:     mask.Encode(),
+				Cycles:   out.Result.Cycles,
+				CacheHit: out.CacheHit,
+			})
+			o.logf("round %d: +%s -> %d cycles (%+d)", round, c, out.Result.Cycles, out.Result.Cycles-curCycles)
+			// Strictly better than the best so far; first-come wins ties,
+			// and candidate order is deterministic.
+			if bestIdx < 0 || out.Result.Cycles < bestOut.Result.Cycles {
+				bestIdx, bestOut = i, out
+			}
+		}
+
+		if bestOut.Result.Cycles > curCycles-o.MinGain {
+			o.logf("round %d: best candidate +%s saves %d cycles (< min gain %d); converged",
+				round, cands[bestIdx], curCycles-bestOut.Result.Cycles, o.MinGain)
+			break
+		}
+		if bestOut.Report == nil {
+			return nil, fmt.Errorf("tune: accepted run carries no attribution report")
+		}
+		cur = cur.With(cands[bestIdx].pc, cands[bestIdx].kind)
+		curCycles = bestOut.Result.Cycles
+		curReport = bestOut.Report
+		traj.Steps[len(traj.Steps)-len(cands)+bestIdx].Accepted = true
+		o.logf("round %d: accepted +%s, mask now %q (%d cycles)",
+			round, cands[bestIdx], cur.Encode(), curCycles)
+	}
+
+	traj.BestMask = cur.Encode()
+	traj.BestCycles = curCycles
+	return traj, nil
+}

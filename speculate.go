@@ -172,6 +172,9 @@ func (b *Bench) RunNamed(name string, cfg machine.Config) (machine.Result, error
 func (b *Bench) RunNamedContext(ctx context.Context, name string, cfg machine.Config) (machine.Result, error) {
 	switch name {
 	case "superscalar":
+		// The baseline has no Task Spawn Unit, so cfg.SpawnMask is
+		// deliberately not carried over: a masked and an unmasked
+		// superscalar run are the same run and must share one artifact.
 		ss := machine.SuperscalarConfig()
 		ss.Telemetry = cfg.Telemetry
 		ss.Attribution = cfg.Attribution

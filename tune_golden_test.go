@@ -1,0 +1,75 @@
+package speculate_test
+
+import (
+	"context"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/tune"
+)
+
+var updateTune = flag.Bool("update-tune", false, "rewrite tuning trajectory golden files")
+
+// TestTuneGolden re-runs the checked-in spawn-mask searches from scratch
+// and requires the trajectory to match the golden semantically (cache hits
+// excluded — they depend on what the environment has already simulated).
+// The same files gate CI through `polytune diff -fail-on-regress`. These
+// two workloads are the PR's headline deliverable: on both, the tuned mask
+// strictly beats the full postdoms policy. Regenerate with
+// `go test -run TestTuneGolden -update-tune .` after an intentional
+// timing-model change.
+func TestTuneGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning search sweep is slow")
+	}
+	cases := []struct {
+		bench  string
+		golden string
+		opts   tune.Options
+	}{
+		{"crafty", "crafty_postdoms.golden.json",
+			tune.Options{Bench: "crafty", Policy: "postdoms", Seed: 1, Rounds: 6, TopK: 4}},
+		{"vortex", "vortex_postdoms.golden.json",
+			tune.Options{Bench: "vortex", Policy: "postdoms", Seed: 1, Rounds: 6, TopK: 4}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bench, func(t *testing.T) {
+			b, err := speculate.Load(tc.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := &tune.LocalEvaluator{Bench: b, Policy: tc.opts.Policy}
+			traj, err := tune.Search(context.Background(), ev, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "tune", tc.golden)
+			if *updateTune {
+				if err := traj.WriteFile(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := tune.ReadTrajectoryFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update-tune)", err)
+			}
+			if d := tune.Compare(golden, traj); d.Changed() {
+				t.Errorf("trajectory drifted from %s (regenerate with -update-tune if intended):\n%s",
+					path, strings.Join(d.Lines, "\n"))
+			}
+			// The deliverable itself: the tuned mask must strictly beat the
+			// untuned postdoms baseline on these workloads.
+			if traj.BestCycles >= traj.BaselineCycles {
+				t.Errorf("tuned mask no longer beats postdoms: %d >= %d baseline",
+					traj.BestCycles, traj.BaselineCycles)
+			}
+			if traj.BestMask == "" {
+				t.Error("winning mask is empty")
+			}
+		})
+	}
+}
