@@ -1,0 +1,29 @@
+// Command promcheck validates Prometheus text exposition read from stdin —
+// the CI smoke scripts' scrape gate:
+//
+//	curl -s .../metrics?format=prometheus | go run ./ci/promcheck \
+//	  server_jobs_submitted server_http_latency_ms
+//
+// It wraps telemetry.CheckExposition: every line must be a well-formed
+// HELP/TYPE comment or sample, family names and (family, labels) series
+// must be unique, histogram buckets must be cumulative and end at
+// le="+Inf" matching _count, and every family named on the command line
+// must be present with a HELP line. Any violation exits 1 with the
+// offending line, so a malformed exposition fails the pipeline before a
+// real scraper ever sees it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := telemetry.CheckExposition(os.Stdin, os.Args[1:]...); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("exposition ok")
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -47,6 +48,8 @@ var (
 	traceCacheDir = flag.String("trace-cache", "", "store workload traces as polyflow-trace/1 artifacts in a cache rooted at this directory (decode once, simulate many; defaults to -cache-dir when set)")
 	cluster       = flag.String("cluster", "", "execute every cell on a remote polyflowd (single daemon or cluster coordinator) at this base URL instead of simulating locally")
 	maskStr       = flag.String("mask", "", `suppress spawn sites in every PolyFlow cell, e.g. "0x40:loop" (polytune emits these; the superscalar column stays unmasked)`)
+	logLevel      = flag.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
+	logFormat     = flag.String("log-format", "text", "structured log format: text or json")
 )
 
 func main() {
@@ -101,6 +104,13 @@ func options() (harness.Options, error) {
 		Policies:  splitList(*policy),
 		TraceDir:  *traces,
 		AttribDir: *attribs,
+	}
+	if *logLevel != "" {
+		logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+		if err != nil {
+			return o, err
+		}
+		o.Logger = logger
 	}
 	mask, err := machine.ParseSpawnMask(*maskStr)
 	if err != nil {

@@ -28,6 +28,14 @@
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/jobs/<id>/attrib
 //
+// Observability (see docs/OBSERVABILITY.md "Fleet observability"):
+// structured logs go to stderr (-log-level, -log-format json|text),
+// GET /metrics?format=prometheus serves the Prometheus exposition,
+// GET /v1/jobs/{id}/spans serves each job's phase-span timeline, and
+// -pprof-addr starts an optional net/http/pprof listener. /readyz answers
+// 200 only once the daemon serves traffic (a worker waits for its
+// coordinator registration), distinct from the /healthz liveness probe.
+//
 // SIGINT/SIGTERM drain gracefully: intake stops (submissions answer 503),
 // accepted jobs finish (bounded by -drain-timeout), then the process exits.
 // See docs/SERVICE.md.
@@ -41,6 +49,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +59,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/cluster"
 	"repro/internal/jobqueue"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -59,6 +69,10 @@ type options struct {
 	workers      int
 	queueDepth   int
 	drainTimeout time.Duration
+
+	logLevel  string
+	logFormat string
+	pprofAddr string
 
 	coordinator    bool
 	clusterWorkers []string
@@ -75,6 +89,9 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "simulation workers (0 = GOMAXPROCS; coordinator mode defaults to 32 dispatchers)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 64, "queued-job bound; submissions beyond it answer 429")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long a shutdown signal waits for running jobs before canceling them")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060); empty disables profiling")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "run as a cluster coordinator: fan submitted cells out to registered workers instead of simulating locally")
 	flag.StringVar(&workerList, "cluster-workers", "", "comma-separated worker base URLs to pre-register (coordinator mode; workers may also self-register via -join)")
 	flag.IntVar(&o.clusterWindow, "cluster-window", 0, "per-worker in-flight cell bound (coordinator mode; 0 = default)")
@@ -117,16 +134,21 @@ func advertiseURL(explicit string, ln net.Listener) string {
 }
 
 func run(o options) error {
+	logger, err := obs.NewLogger(os.Stderr, o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
+
 	cache, err := artifact.New(artifact.Options{Dir: o.cacheDir})
 	if err != nil {
 		return err
 	}
 
 	var coord *cluster.Coordinator
-	cfg := server.Config{Cache: cache}
+	cfg := server.Config{Cache: cache, Logger: logger}
 	poolWorkers := o.workers
 	if o.coordinator {
-		coord = cluster.New(cluster.Options{Window: o.clusterWindow})
+		coord = cluster.New(cluster.Options{Window: o.clusterWindow, Logger: logger})
 		defer coord.Close()
 		for _, w := range o.clusterWorkers {
 			if err := coord.AddWorker(w); err != nil {
@@ -142,11 +164,13 @@ func run(o options) error {
 	}
 	if o.join != "" {
 		// Worker mode: fetch each requested workload's trace artifact from
-		// the coordinator before falling back to local emulation.
+		// the coordinator before falling back to local emulation. /readyz
+		// stays 503 until the coordinator registration succeeds.
 		cfg.TraceUpstream = &server.Client{Base: strings.TrimRight(o.join, "/"), Retry: server.DefaultRetry()}
+		cfg.StartUnready = true
 	}
 
-	pool := jobqueue.New(jobqueue.Config{Workers: poolWorkers, QueueDepth: o.queueDepth})
+	pool := jobqueue.New(jobqueue.Config{Workers: poolWorkers, QueueDepth: o.queueDepth, Logger: logger})
 	cfg.Pool = pool
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -175,6 +199,29 @@ func run(o options) error {
 	log.Printf("polyflowd: listening on %s (mode=%s workers=%d queue-depth=%d cache-dir=%q)",
 		ln.Addr(), mode, pool.Stats().Workers, o.queueDepth, o.cacheDir)
 
+	var pprofSrv *http.Server
+	if o.pprofAddr != "" {
+		// A dedicated mux (not http.DefaultServeMux) keeps the profiling
+		// surface off the service listener and trivially firewallable.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pprofSrv = &http.Server{Handler: pmux}
+		log.Printf("polyflowd: pprof listening on %s", pln.Addr())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("polyflowd: pprof server: %v", err)
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
@@ -191,6 +238,7 @@ func run(o options) error {
 				return
 			}
 			log.Printf("polyflowd: registered with coordinator %s as %s", o.join, adv)
+			srv.SetReady(true)
 		}()
 	}
 
@@ -219,6 +267,9 @@ func run(o options) error {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("polyflowd: http shutdown: %v", err)
+	}
+	if pprofSrv != nil {
+		pprofSrv.Close()
 	}
 	pool.Close()
 	log.Printf("polyflowd: drained, exiting")

@@ -28,6 +28,7 @@ import (
 
 	"repro"
 	"repro/internal/artifact"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/tune"
 )
@@ -63,6 +64,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   polytune search -bench B -policy P [-seed N] [-rounds N] [-top N] [-explore N]
                   [-min-gain N] [-cache-dir DIR | -daemon URL] [-o FILE] [-q]
+                  [-log-level LEVEL] [-log-format text|json]
   polytune replay trajectory.json
   polytune diff [-fail-on-regress] [-fail-on-diff] golden.json new.json`)
 }
@@ -80,6 +82,8 @@ func searchCmd(args []string) error {
 	daemon := fs.String("daemon", "", "evaluate on a polyflowd daemon (or cluster coordinator) at this base URL")
 	out := fs.String("o", "", "write the trajectory JSON here (default stdout)")
 	quiet := fs.Bool("q", false, "suppress per-evaluation progress on stderr")
+	logLevel := fs.String("log-level", "", "emit structured logs to stderr at this level (debug, info, warn, error; empty = off)")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	fs.Parse(args)
 
 	if *policy == "superscalar" {
@@ -98,6 +102,13 @@ func searchCmd(args []string) error {
 		opts.Log = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		}
+	}
+	if *logLevel != "" {
+		logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+		if err != nil {
+			return err
+		}
+		opts.Logger = logger
 	}
 
 	var ev tune.Evaluator

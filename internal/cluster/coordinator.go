@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/jobqueue"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/workloads"
@@ -45,6 +48,9 @@ type Options struct {
 	PollInterval time.Duration
 	// HTTP overrides the transport used for worker calls (tests).
 	HTTP *http.Client
+	// Logger receives structured dispatch and membership records; nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 // Coordinator fans grid cells out to registered polyflowd workers and
@@ -53,8 +59,9 @@ type Options struct {
 // cluster execution, and FillMetrics into Config.MetricsExtra to expose
 // the cluster.* counters on /metrics.
 type Coordinator struct {
-	opts Options
-	pool *jobqueue.Pool // dispatch pool, remote executor
+	opts  Options
+	pool  *jobqueue.Pool // dispatch pool, remote executor
+	hists *telemetry.HistSet
 
 	mu      sync.Mutex
 	ring    *Ring
@@ -85,9 +92,15 @@ type member struct {
 	down   atomic.Bool
 	fails  int // consecutive heartbeat failures; guarded by Coordinator.mu
 
+	// lastBeat is the unix-millisecond time of the last successful
+	// liveness signal (registration or heartbeat probe); the age gauge in
+	// GET /v1/cluster/workers derives from it.
+	lastBeat atomic.Int64
+
 	dispatched atomic.Int64
 	completed  atomic.Int64
 	failed     atomic.Int64
+	retries    atomic.Int64 // transient failures re-dispatched elsewhere
 }
 
 // acquireTimeout waits up to d for a window slot, reporting false on
@@ -128,6 +141,15 @@ type Cell struct {
 	Data     []byte
 	CacheHit bool
 	Worker   string // base URL of the worker that completed the cell
+	// Progress, when non-nil, receives the worker's live progress samples:
+	// the coordinator subscribes to the worker job's SSE stream and relays
+	// each sample here, so a coordinator-side SSE watcher sees real worker
+	// progress, not just queued/running/terminal transitions.
+	Progress server.ProgressFunc
+	// Trace, when non-nil, collects the cell's fleet spans: dispatch spans
+	// on the coordinator side plus the worker's own phase spans, imported
+	// after completion under the worker's base URL.
+	Trace *obs.Trace
 }
 
 // remoteExecutor is the jobqueue.Executor that ships cell payloads to
@@ -170,6 +192,7 @@ func New(opts Options) *Coordinator {
 	}
 	c := &Coordinator{
 		opts:    opts,
+		hists:   telemetry.NewHistSet(),
 		ring:    NewRing(opts.Replicas),
 		members: map[string]*member{},
 		keys:    map[string]string{},
@@ -213,8 +236,12 @@ func (c *Coordinator) AddWorker(base string) error {
 		probe:  &server.Client{Base: base, HTTP: c.opts.HTTP},
 		sem:    make(chan struct{}, c.opts.Window),
 	}
+	m.lastBeat.Store(time.Now().UnixMilli())
 	c.members[base] = m
 	c.ring.Add(base)
+	if c.opts.Logger != nil {
+		c.opts.Logger.Info("worker registered", "component", "cluster", "worker", base)
+	}
 	return nil
 }
 
@@ -229,6 +256,9 @@ func (c *Coordinator) RemoveWorker(base string) {
 	}
 	delete(c.members, base)
 	c.ring.Remove(base)
+	if c.opts.Logger != nil {
+		c.opts.Logger.Info("worker deregistered", "component", "cluster", "worker", base)
+	}
 }
 
 func normalizeBase(base string) string {
@@ -244,14 +274,21 @@ func normalizeBase(base string) string {
 // propagate into the coordinator's job records.
 func (c *Coordinator) Runner() server.Runner {
 	return func(ctx context.Context, req server.Request, progress server.ProgressFunc) ([]byte, bool, error) {
-		return c.RunCell(ctx, req)
+		// The caller's trace and progress hook ride in the cell: execute
+		// runs on the dispatch pool under a different context.
+		cell := &Cell{Req: req, Progress: progress, Trace: obs.From(ctx)}
+		return c.runCell(ctx, cell)
 	}
 }
 
 // RunCell executes one (bench, policy) cell on the cluster and returns
 // the artifact bytes, exactly as a single polyflowd would serve them.
 func (c *Coordinator) RunCell(ctx context.Context, req server.Request) ([]byte, bool, error) {
-	cell := &Cell{Req: req}
+	return c.runCell(ctx, &Cell{Req: req, Trace: obs.From(ctx)})
+}
+
+func (c *Coordinator) runCell(ctx context.Context, cell *Cell) ([]byte, bool, error) {
+	req := cell.Req
 	job := jobqueue.Job{ID: "cell/" + req.Bench + "/" + req.Policy, Priority: req.Priority, Payload: cell}
 	h, err := c.submitWait(ctx, job)
 	if err != nil {
@@ -324,6 +361,8 @@ func (c *Coordinator) execute(ctx context.Context, cell *Cell) error {
 		return err
 	}
 	c.m.dispatched.Add(1)
+	ctx = obs.With(ctx, cell.Trace)
+	placed := time.Now()
 	tried := map[string]bool{}
 	for {
 		m, err := c.pick(key, tried)
@@ -339,15 +378,23 @@ func (c *Coordinator) execute(ctx context.Context, cell *Cell) error {
 			// The pick went stale while we waited; place the cell again.
 			continue
 		}
+		// How long placement took, including every re-pick and spill wait.
+		c.hists.Observe("cluster.placement_wait_ms", clusterBounds, time.Since(placed).Milliseconds())
 		m.dispatched.Add(1)
-		data, hit, rerr := c.runOn(ctx, m, cell.Req)
+		endDispatch := obs.StartSpan(ctx, "dispatch")
+		start := time.Now()
+		data, hit, rerr := c.runOn(ctx, m, cell)
 		m.release()
+		c.hists.Observe("cluster.worker.dispatch_ms{"+telemetry.PromLabel("worker", m.id)+"}",
+			clusterBounds, time.Since(start).Milliseconds())
 		if rerr == nil {
+			endDispatch.End("worker", m.id)
 			m.completed.Add(1)
 			cell.Data, cell.CacheHit, cell.Worker = data, hit, m.id
 			c.m.completed.Add(1)
 			return nil
 		}
+		endDispatch.End("worker", m.id, "error", "true")
 		m.failed.Add(1)
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -362,7 +409,24 @@ func (c *Coordinator) execute(ctx context.Context, cell *Cell) error {
 		tried[m.id] = true
 		c.markDown(m)
 		c.m.retries.Add(1)
+		m.retries.Add(1)
+		if c.opts.Logger != nil {
+			c.opts.Logger.Warn("cell retried on another worker", "component", "cluster",
+				"bench", cell.Req.Bench, "policy", cell.Req.Policy, "worker", m.id,
+				"trace_id", traceID(cell.Trace), "error", rerr.Error())
+		}
 	}
+}
+
+// clusterBounds are the millisecond edges for dispatch and placement
+// histograms.
+var clusterBounds = []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+func traceID(t *obs.Trace) string {
+	if t == nil {
+		return ""
+	}
+	return t.ID()
 }
 
 // pick chooses the worker for key: the first live untried member of the
@@ -414,11 +478,21 @@ func transientCode(code int) bool {
 	return code == 0 || code == http.StatusTooManyRequests || code >= 500
 }
 
-// runOn ships one cell to one worker and fetches the artifact bytes.
-func (c *Coordinator) runOn(ctx context.Context, m *member, req server.Request) ([]byte, bool, error) {
-	st, code, err := m.client.Submit(ctx, req)
+// runOn ships one cell to one worker and fetches the artifact bytes. ctx
+// carries the cell's trace, so Submit stamps the X-Polyflow-Trace header
+// and the worker job joins the coordinator's trace. While the job runs, a
+// relay goroutine subscribes to the worker's SSE stream and forwards
+// progress samples to the cell's Progress hook; after success the worker's
+// spans are imported under its base URL.
+func (c *Coordinator) runOn(ctx context.Context, m *member, cell *Cell) ([]byte, bool, error) {
+	st, code, err := m.client.Submit(ctx, cell.Req)
 	if err != nil {
 		return nil, false, &workerError{fmt.Errorf("submit: %w", err), transientCode(code)}
+	}
+	if cell.Progress != nil {
+		relayCtx, stopRelay := context.WithCancel(ctx)
+		defer stopRelay()
+		go c.relayProgress(relayCtx, m, st.ID, cell.Progress)
 	}
 	fin, err := m.client.Wait(ctx, st.ID, c.opts.PollInterval)
 	if err != nil {
@@ -440,7 +514,30 @@ func (c *Coordinator) runOn(ctx context.Context, m *member, req server.Request) 
 	if err != nil {
 		return nil, false, &workerError{fmt.Errorf("result: %w", err), true}
 	}
+	if cell.Trace != nil {
+		// Best effort: a worker that drained between Wait and here just
+		// leaves the timeline without its side of the story.
+		if ex, err := m.client.Spans(ctx, fin.ID); err == nil {
+			cell.Trace.Import(m.id, ex.Spans)
+		}
+	}
 	return data, fin.CacheHit, nil
+}
+
+// relayProgress streams one worker job's SSE events and forwards each
+// progress sample; it exits when the stream ends (terminal state) or ctx is
+// canceled. Relay loss is benign — progress is advisory.
+func (c *Coordinator) relayProgress(ctx context.Context, m *member, jobID string, progress server.ProgressFunc) {
+	m.client.StreamEvents(ctx, jobID, func(event string, data []byte) error {
+		if event != "progress" {
+			return nil
+		}
+		var p server.Progress
+		if json.Unmarshal(data, &p) == nil {
+			progress(p.Cycle, p.Retired)
+		}
+		return nil
+	})
 }
 
 // markDown suspects a worker after a failed cell. The heartbeat loop
@@ -476,14 +573,21 @@ func (c *Coordinator) heartbeatLoop() {
 			c.mu.Lock()
 			if healthy {
 				m.fails = 0
+				m.lastBeat.Store(time.Now().UnixMilli())
 				if m.down.Swap(false) {
 					c.m.workerUpEvents.Add(1)
+					if c.opts.Logger != nil {
+						c.opts.Logger.Info("worker up", "component", "cluster", "worker", m.id)
+					}
 				}
 			} else {
 				m.fails++
 				c.m.heartbeatFailures.Add(1)
 				if m.fails >= c.opts.HeartbeatFailures && !m.down.Swap(true) {
 					c.m.workerDownEvents.Add(1)
+					if c.opts.Logger != nil {
+						c.opts.Logger.Warn("worker down", "component", "cluster", "worker", m.id, "failed_probes", m.fails)
+					}
 				}
 			}
 			c.mu.Unlock()
@@ -547,22 +651,34 @@ type WorkerStatus struct {
 	Dispatched int64  `json:"dispatched"`
 	Completed  int64  `json:"completed"`
 	Failed     int64  `json:"failed"`
+	Retries    int64  `json:"retries"`
+	// LastHeartbeatAgeMS is how long ago the worker last proved liveness
+	// (registration or a successful probe); a staleness signal for
+	// dashboards even while Up is still true.
+	LastHeartbeatAgeMS int64 `json:"last_heartbeat_age_ms"`
 }
 
 // Workers snapshots the fleet, sorted by address.
 func (c *Coordinator) Workers() []WorkerStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := time.Now().UnixMilli()
 	out := make([]WorkerStatus, 0, len(c.members))
 	for _, id := range c.ring.Members() {
 		m := c.members[id]
+		age := now - m.lastBeat.Load()
+		if age < 0 {
+			age = 0
+		}
 		out = append(out, WorkerStatus{
-			Addr:       m.id,
-			Up:         !m.down.Load(),
-			InFlight:   len(m.sem),
-			Dispatched: m.dispatched.Load(),
-			Completed:  m.completed.Load(),
-			Failed:     m.failed.Load(),
+			Addr:               m.id,
+			Up:                 !m.down.Load(),
+			InFlight:           len(m.sem),
+			Dispatched:         m.dispatched.Load(),
+			Completed:          m.completed.Load(),
+			Failed:             m.failed.Load(),
+			Retries:            m.retries.Load(),
+			LastHeartbeatAgeMS: age,
 		})
 	}
 	return out
@@ -582,4 +698,21 @@ func (c *Coordinator) FillMetrics(reg *telemetry.Registry) {
 	add("cluster.worker_up_events", st.WorkerUpEvents)
 	reg.Gauge("cluster.workers").Set(int64(st.Workers))
 	reg.Gauge("cluster.workers_up").Set(int64(st.WorkersUp))
+	for _, ws := range c.Workers() {
+		label := "{" + telemetry.PromLabel("worker", ws.Addr) + "}"
+		reg.Gauge("cluster.worker.last_heartbeat_age_ms" + label).Set(ws.LastHeartbeatAgeMS)
+		reg.Gauge("cluster.worker.up" + label).Set(boolGauge(ws.Up))
+		add("cluster.worker.dispatched"+label, ws.Dispatched)
+		add("cluster.worker.completed"+label, ws.Completed)
+		add("cluster.worker.failed"+label, ws.Failed)
+		add("cluster.worker.retries"+label, ws.Retries)
+	}
+	c.hists.Fill(reg)
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,123 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// TestClusterProgressRelayAndSpanJoin is the fleet-observability
+// acceptance test in miniature: a grid cell submitted to the coordinator
+// yields (1) live progress events on the coordinator's SSE stream that
+// originated on the worker, and (2) a joined span timeline where
+// worker-side spans appear under the same trace ID as the coordinator's
+// own dispatch spans.
+func TestClusterProgressRelayAndSpanJoin(t *testing.T) {
+	coord := cluster.New(cluster.Options{})
+	defer coord.Close()
+	w1, _ := startWorker(t, nil)
+	w2, _ := startWorker(t, nil)
+	if err := coord.AddWorker(w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddWorker(w2); err != nil {
+		t.Fatal(err)
+	}
+	c := coordServer(t, coord)
+
+	ctx := obs.With(context.Background(), obs.NewTrace("fleet-trace-1"))
+	// gzip retires in ~80k cycles, so a 5k interval yields a steady stream
+	// of samples.
+	st, _, err := c.Submit(ctx, server.Request{Bench: "gzip", Policy: "postdoms", SampleInterval: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != "fleet-trace-1" {
+		t.Fatalf("coordinator job trace ID = %q", st.TraceID)
+	}
+
+	// Stream the coordinator job's events while the cell runs remotely.
+	var progressEvents int
+	streamErr := c.StreamEvents(ctx, st.ID, func(event string, data []byte) error {
+		if event == "progress" {
+			var p server.Progress
+			if json.Unmarshal(data, &p) == nil && p.Cycle > 0 {
+				progressEvents++
+			}
+		}
+		return nil
+	})
+	if streamErr != nil {
+		t.Fatal(streamErr)
+	}
+	fin, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "succeeded" {
+		t.Fatalf("state = %q (%s)", fin.State, fin.Error)
+	}
+	if progressEvents == 0 {
+		t.Fatal("no worker progress events relayed onto the coordinator SSE stream")
+	}
+
+	// The joined timeline: coordinator-side spans (queue_wait, dispatch)
+	// and worker-side spans (simulate) under one trace ID, worker spans
+	// stamped with the worker's base URL.
+	ex, err := c.Spans(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.TraceID != "fleet-trace-1" {
+		t.Fatalf("span export trace ID = %q", ex.TraceID)
+	}
+	local := map[string]bool{}
+	remote := map[string]bool{}
+	remoteHost := ""
+	for _, sp := range ex.Spans {
+		if sp.Host == "" {
+			local[sp.Name] = true
+		} else {
+			remote[sp.Name] = true
+			remoteHost = sp.Host
+		}
+	}
+	if !local["queue_wait"] || !local["dispatch"] {
+		t.Fatalf("coordinator spans missing: %v", local)
+	}
+	if !remote["simulate"] || !remote["queue_wait"] {
+		t.Fatalf("worker spans missing: %v", remote)
+	}
+	if remoteHost != w1 && remoteHost != w2 {
+		t.Fatalf("worker span host = %q, want one of %q %q", remoteHost, w1, w2)
+	}
+
+	// Heartbeat-age accounting rides the worker listing...
+	for _, ws := range coord.Workers() {
+		if ws.LastHeartbeatAgeMS < 0 || ws.LastHeartbeatAgeMS > 60_000 {
+			t.Fatalf("implausible heartbeat age %dms for %s", ws.LastHeartbeatAgeMS, ws.Addr)
+		}
+	}
+	// ...and the coordinator's Prometheus exposition, which must validate
+	// and carry the per-worker series plus dispatch histograms.
+	raw, err := c.PromMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = telemetry.CheckExposition(bytes.NewReader(raw),
+		"cluster_worker_last_heartbeat_age_ms", "cluster_worker_dispatch_ms", "cluster_cells_completed")
+	if err != nil {
+		t.Fatalf("coordinator exposition invalid: %v\n%s", err, raw)
+	}
+	if !strings.Contains(string(raw), `cluster_worker_last_heartbeat_age_ms{worker="`) {
+		t.Fatalf("per-worker heartbeat gauge missing:\n%s", raw)
+	}
+}

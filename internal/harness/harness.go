@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -82,6 +83,9 @@ type Options struct {
 	// own artifact-cache identities, so tuned and untuned grids coexist in
 	// one cache.
 	SpawnMask *machine.SpawnMask
+	// Logger receives structured per-cell records for remote grids (job
+	// IDs, trace IDs, retries); nil disables logging.
+	Logger *slog.Logger
 }
 
 // traceCache returns the cache backing benchmark preparation.
@@ -307,6 +311,10 @@ func (o Options) runCellRemote(ctx context.Context, bench, colName string) (mach
 			return machine.Result{}, ctx.Err()
 		case <-time.After(5 * time.Millisecond):
 		}
+	}
+	if o.Logger != nil {
+		o.Logger.Debug("remote cell submitted", "component", "harness",
+			"bench", bench, "policy", colName, "job_id", st.ID, "trace_id", st.TraceID)
 	}
 	fin, err := o.Remote.Wait(ctx, st.ID, 5*time.Millisecond)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -57,6 +58,9 @@ type Config struct {
 	// job's Fn in-process). The cluster coordinator installs a remote
 	// executor that ships each job's Payload to a worker daemon instead.
 	Executor Executor
+	// Logger receives pool lifecycle records (job failures and panics,
+	// drain); nil disables logging.
+	Logger *slog.Logger
 }
 
 // Executor runs one accepted job. The pool's scheduling discipline —
@@ -224,6 +228,7 @@ type Pool struct {
 	queueDepth int
 	base       context.Context
 	exec       Executor
+	logger     *slog.Logger
 
 	mu          sync.Mutex
 	cond        *sync.Cond // work available or pool closing
@@ -259,6 +264,7 @@ func New(cfg Config) *Pool {
 		queueDepth:  cfg.QueueDepth,
 		base:        cfg.BaseContext,
 		exec:        cfg.Executor,
+		logger:      cfg.Logger,
 		liveRunning: map[*Handle]context.CancelFunc{},
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -326,13 +332,18 @@ func (p *Pool) Draining() bool {
 // Drain returns ctx.Err() after they exit. Drain is idempotent.
 func (p *Pool) Drain(ctx context.Context) error {
 	p.mu.Lock()
+	first := !p.draining
 	p.draining = true
 	if p.idleCh == nil {
 		p.idleCh = make(chan struct{})
 	}
 	idle := p.idleCh
+	queued, running := p.queue.Len(), p.running
 	p.checkIdleLocked()
 	p.mu.Unlock()
+	if first && p.logger != nil {
+		p.logger.Info("pool draining", "component", "jobqueue", "queued", queued, "running", running)
+	}
 
 	select {
 	case <-idle:
@@ -434,6 +445,9 @@ func (p *Pool) settle(h *Handle, err error) {
 	default:
 		p.stats.Failed++
 		h.finishLocked(Failed, err)
+		if p.logger != nil {
+			p.logger.Warn("job failed", "component", "jobqueue", "job_id", h.job.ID, "error", err.Error())
+		}
 	}
 	p.checkIdleLocked()
 	p.mu.Unlock()

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+type traceKey struct{}
+
+// With attaches a trace to the context; phase code downstream records
+// spans through StartSpan without knowing who is listening.
+func With(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// From returns the context's trace, or nil when the request is untraced.
+func From(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// IDFrom returns the context's trace ID, or "" when untraced — what the
+// HTTP client stamps into the X-Polyflow-Trace header.
+func IDFrom(ctx context.Context) string {
+	if t := From(ctx); t != nil {
+		return t.id
+	}
+	return ""
+}
+
+// SpanEnd finishes an open span. It is a small value (not a closure) so
+// the disabled path stays allocation-free: with a nil trace the variadic
+// attr slice never escapes and End is a branch on nil.
+type SpanEnd struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a phase span on the context's trace. On an untraced
+// context it returns the inert zero SpanEnd: no allocations, no clock
+// reads — the zero-overhead contract the off-guard test pins.
+func StartSpan(ctx context.Context, name string) SpanEnd {
+	t := From(ctx)
+	if t == nil {
+		return SpanEnd{}
+	}
+	return SpanEnd{t: t, name: name, start: time.Now()}
+}
+
+// End records the span, optionally attaching alternating key, value
+// attribute pairs (a trailing odd key is dropped). A no-op on the zero
+// SpanEnd.
+func (e SpanEnd) End(attrs ...string) {
+	if e.t == nil {
+		return
+	}
+	sp := Span{Name: e.name, Start: e.start, End: time.Now()}
+	if len(attrs) >= 2 {
+		sp.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			sp.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	e.t.Record(sp)
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,10 +9,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/attrib"
+	"repro/internal/obs"
 )
 
 // RetryPolicy bounds the client's transient-failure retries. Requests that
@@ -125,6 +128,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// A traced context propagates its ID, joining the remote job to the
+	// caller's trace; an untraced context adds no header (and no work).
+	if id := obs.IDFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -254,8 +262,79 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(raw), err
 }
 
+// PromMetrics fetches the Prometheus text exposition (what a scraper and
+// the CI exposition checker consume).
+func (c *Client) PromMetrics(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	_, err := c.do(ctx, http.MethodGet, "/metrics?format=prometheus", nil, &raw)
+	return raw, err
+}
+
 // Healthy reports whether the server answers /healthz with 200.
 func (c *Client) Healthy(ctx context.Context) bool {
 	code, err := c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 	return err == nil && code == http.StatusOK
+}
+
+// Ready reports whether the server answers /readyz with 200 — serving
+// traffic, not merely alive.
+func (c *Client) Ready(ctx context.Context) bool {
+	code, err := c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+	return err == nil && code == http.StatusOK
+}
+
+// Spans fetches a job's raw trace export (the coordinator imports these
+// into its own timeline after a cell completes).
+func (c *Client) Spans(ctx context.Context, id string) (obs.Export, error) {
+	var raw []byte
+	if _, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/spans?format=raw", nil, &raw); err != nil {
+		return obs.Export{}, err
+	}
+	return obs.DecodeExport(raw)
+}
+
+// StreamEvents subscribes to a job's SSE stream and invokes fn for every
+// event until the stream ends (terminal state), ctx is canceled, or fn
+// returns an error (which stops the stream and is returned). The cluster
+// coordinator relays worker progress through this. No retries: a broken
+// stream returns; callers that care re-subscribe.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(event string, data []byte) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if tid := obs.IDFrom(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/jobs/%s/events: HTTP %d", id, resp.StatusCode)
+	}
+	event := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := fn(event, []byte(strings.TrimPrefix(line, "data: "))); err != nil {
+				return err
+			}
+		case line == "":
+			event = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return ctx.Err()
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/jobqueue"
+	"repro/internal/obs"
 )
 
 // Event is one SSE message: a state transition or a progress sample.
@@ -28,6 +29,7 @@ type job struct {
 	id     string
 	req    Request
 	handle *jobqueue.Handle
+	trace  *obs.Trace // immutable after creation; its own lock guards spans
 
 	mu        sync.Mutex
 	state     jobqueue.State
@@ -42,10 +44,11 @@ type job struct {
 	closed    bool // no more events: terminal state broadcast
 }
 
-func newJob(id string, req Request) *job {
+func newJob(id string, req Request, trace *obs.Trace) *job {
 	return &job{
 		id:        id,
 		req:       req,
+		trace:     trace,
 		state:     jobqueue.Queued,
 		submitted: time.Now(),
 		subs:      map[chan Event]struct{}{},
@@ -56,9 +59,15 @@ func (j *job) setRunning() {
 	j.mu.Lock()
 	j.state = jobqueue.Running
 	j.started = time.Now()
+	submitted, started := j.submitted, j.started
 	st := j.statusLocked()
 	j.broadcastLocked(Event{Type: "state", Status: &st})
 	j.mu.Unlock()
+	if j.trace != nil {
+		// The time between acceptance and a pool worker picking the job up
+		// is the queue-wait phase.
+		j.trace.Record(obs.Span{Name: "queue_wait", Start: submitted, End: started})
+	}
 }
 
 func (j *job) setResult(data []byte, hit bool) {
@@ -170,6 +179,9 @@ func (j *job) statusLocked() Status {
 		Started:   j.started,
 		Finished:  j.finished,
 		Progress:  j.progress,
+	}
+	if j.trace != nil {
+		st.TraceID = j.trace.ID()
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

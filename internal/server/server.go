@@ -14,8 +14,15 @@
 //	GET    /v1/jobs/{id}/result the simulation artifact (polyflow-simart/1)
 //	GET    /v1/jobs/{id}/attrib the attribution report (polyflow-attrib/1)
 //	GET    /v1/jobs/{id}/events SSE stream: state transitions and progress
-//	GET    /metrics             telemetry summary, text/plain
+//	GET    /v1/jobs/{id}/spans  the job's trace: Chrome trace-event JSON (?format=raw for obs.Export)
+//	GET    /metrics             telemetry summary, text/plain (?format=prometheus for exposition 0.0.4)
 //	GET    /healthz             200 ok, 503 while draining
+//	GET    /readyz              200 once serving traffic, 503 before ready or while draining
+//
+// Every job carries an obs.Trace; submitters may supply the ID in the
+// X-Polyflow-Trace header (the cluster coordinator does) and phase spans
+// (queue_wait, trace_fetch, bench_load, simulate, artifact_encode,
+// cache_lookup) are recorded against it.
 //
 // See docs/SERVICE.md for the full protocol description.
 package server
@@ -25,7 +32,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +44,7 @@ import (
 	"repro/internal/attrib"
 	"repro/internal/jobqueue"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/tracestore"
 	"repro/internal/workloads"
@@ -94,6 +104,9 @@ type Status struct {
 	Finished   time.Time `json:"finished_at"`
 	DurationMS int64     `json:"duration_ms,omitempty"`
 	Progress   *Progress `json:"progress,omitempty"`
+	// TraceID joins this job against its spans, logs and the coordinator's
+	// fleet timeline.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Config assembles a Server.
@@ -120,6 +133,13 @@ type Config struct {
 	// counters through it). It runs on the request path, so it must be
 	// safe for concurrent use.
 	MetricsExtra func(reg *telemetry.Registry)
+	// Logger receives structured request/job records; nil disables logging
+	// entirely (the nil check is the whole cost).
+	Logger *slog.Logger
+	// StartUnready makes /readyz answer 503 until SetReady(true). A cluster
+	// worker starts unready and flips once registered with its coordinator,
+	// so a smoke script polling /readyz never races registration.
+	StartUnready bool
 }
 
 // Server is the polyflowd HTTP handler plus its job registry.
@@ -131,6 +151,9 @@ type Server struct {
 	maxJobs      int
 	upstream     *Client
 	metricsExtra func(reg *telemetry.Registry)
+	logger       *slog.Logger
+	hists        *telemetry.HistSet
+	ready        atomic.Bool
 	mux          *http.ServeMux
 
 	mu    sync.Mutex
@@ -176,9 +199,12 @@ func New(cfg Config) (*Server, error) {
 		maxJobs:      cfg.MaxJobs,
 		upstream:     cfg.TraceUpstream,
 		metricsExtra: cfg.MetricsExtra,
+		logger:       cfg.Logger,
+		hists:        telemetry.NewHistSet(),
 		jobs:         map[string]*job{},
 		stop:         make(chan struct{}),
 	}
+	s.ready.Store(!cfg.StartUnready)
 	if s.pool == nil {
 		s.pool = jobqueue.New(jobqueue.Config{})
 		s.ownPool = true
@@ -197,18 +223,43 @@ func New(cfg Config) (*Server, error) {
 		s.runner = s.simulate
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/attrib", s.handleAttrib)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/traces/{bench}", s.handleTrace)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.route("POST /v1/jobs", s.handleSubmit)
+	s.route("GET /v1/jobs", s.handleList)
+	s.route("GET /v1/jobs/{id}", s.handleStatus)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.route("GET /v1/jobs/{id}/result", s.handleResult)
+	s.route("GET /v1/jobs/{id}/attrib", s.handleAttrib)
+	s.route("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.route("GET /v1/jobs/{id}/spans", s.handleSpans)
+	s.route("GET /v1/traces/{bench}", s.handleTrace)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
 	return s, nil
 }
+
+// httpLatencyBounds and phaseBounds are the millisecond histogram edges for
+// per-endpoint and per-phase latencies.
+var (
+	httpLatencyBounds = []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+	phaseBounds       = []int64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+)
+
+// route registers a handler and wraps it with a per-endpoint latency
+// histogram keyed by the route pattern (for the SSE endpoint the recorded
+// latency is the stream's lifetime).
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	name := "server.http.latency_ms{" + telemetry.PromLabel("route", pattern) + "}"
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.hists.Observe(name, httpLatencyBounds, time.Since(start).Milliseconds())
+	})
+}
+
+// SetReady flips the /readyz answer; a cluster worker turns ready only
+// after its coordinator registration succeeds.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -246,20 +297,31 @@ func (s *Server) Close() {
 // is then stored. The provenance counters feed /metrics, which the CI
 // server-smoke asserts on: two jobs for one workload must show a single
 // emulator decode.
-func (s *Server) bench(name string) (*speculate.Bench, error) {
-	s.prefetchTrace(name)
+func (s *Server) bench(ctx context.Context, name string) (*speculate.Bench, error) {
+	if s.upstream != nil {
+		end := obs.StartSpan(ctx, "trace_fetch")
+		s.prefetchTrace(name)
+		end.End("bench", name)
+	}
+	end := obs.StartSpan(ctx, "bench_load")
 	b, src, err := speculate.LoadCached(name, s.cache)
 	if err != nil {
+		end.End("bench", name, "error", "true")
 		return nil, err
 	}
+	source := "unknown"
 	switch src {
 	case speculate.LoadEmulated:
 		s.m.traceEmuDecodes.Add(1)
+		source = "emulated"
 	case speculate.LoadTraceArtifact:
 		s.m.traceArtifactHits.Add(1)
+		source = "artifact"
 	case speculate.LoadMemoized:
 		s.m.traceMemoHits.Add(1)
+		source = "memo"
 	}
+	end.End("bench", name, "source", source)
 	return b, nil
 }
 
@@ -298,7 +360,7 @@ func (s *Server) prefetchTrace(name string) {
 // content hash.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("bench")
-	if _, err := s.bench(name); err != nil {
+	if _, err := s.bench(r.Context(), name); err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
@@ -331,7 +393,7 @@ func baseConfig(policy string) machine.Config {
 // identical to a fresh run (internal/artifact's correctness sweep holds the
 // two paths equal).
 func (s *Server) simulate(ctx context.Context, req Request, progress ProgressFunc) ([]byte, bool, error) {
-	b, err := s.bench(req.Bench)
+	b, err := s.bench(ctx, req.Bench)
 	if err != nil {
 		return nil, false, err
 	}
@@ -346,6 +408,10 @@ func (s *Server) simulate(ctx context.Context, req Request, progress ProgressFun
 	if err != nil {
 		return nil, false, err
 	}
+	// Spans are recorded against the submitting request's trace even inside
+	// the singleflighted compute (a deduped concurrent caller simply sees a
+	// cache_lookup hit without inner spans).
+	spanCtx := ctx
 	compute := func(ctx context.Context) ([]byte, error) {
 		cfg := baseCfg
 		if progress != nil {
@@ -353,17 +419,26 @@ func (s *Server) simulate(ctx context.Context, req Request, progress ProgressFun
 		}
 		tbl := attrib.NewTable()
 		cfg.Attribution = tbl
+		endSim := obs.StartSpan(spanCtx, "simulate")
 		res, err := b.RunNamedContext(ctx, req.Policy, cfg)
 		if err != nil {
+			endSim.End("error", "true")
 			return nil, err
 		}
+		endSim.End("cycles", strconv.FormatInt(res.Cycles, 10))
 		if err := machine.VerifyAttribution(tbl, res); err != nil {
 			return nil, err
 		}
 		rep := attrib.NewReport(tbl, b.Name, req.Policy, res.Config, res.Cycles, res.Retired)
-		return artifact.EncodeSim(&artifact.SimArtifact{Key: key, Result: res, Attrib: rep})
+		endEnc := obs.StartSpan(spanCtx, "artifact_encode")
+		data, err := artifact.EncodeSim(&artifact.SimArtifact{Key: key, Result: res, Attrib: rep})
+		endEnc.End()
+		return data, err
 	}
-	return s.cache.GetOrCompute(ctx, key.Hash(), compute)
+	endLookup := obs.StartSpan(ctx, "cache_lookup")
+	data, hit, err := s.cache.GetOrCompute(ctx, key.Hash(), compute)
+	endLookup.End("hit", strconv.FormatBool(hit))
+	return data, hit, err
 }
 
 // validate rejects malformed requests before they consume a queue slot.
@@ -412,14 +487,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j := s.register(req)
+	// Every job is traced. A caller-supplied X-Polyflow-Trace ID (the
+	// cluster coordinator forwards its own) joins this job to a wider
+	// request; otherwise the job gets a fresh ID. Local spans also feed the
+	// per-phase latency histograms.
+	tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+	tr.OnRecord(func(sp obs.Span) {
+		if sp.Host == "" {
+			s.hists.Observe("server.phase."+sp.Name+"_ms", phaseBounds, sp.Duration().Milliseconds())
+		}
+	})
+	j := s.register(req, tr)
 	h, err := s.pool.Submit(jobqueue.Job{
 		ID:       j.id,
 		Priority: req.Priority,
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
 		Fn: func(ctx context.Context) error {
 			j.setRunning()
-			data, hit, err := s.runner(ctx, req, j.onProgress)
+			data, hit, err := s.runner(obs.With(ctx, tr), req, j.onProgress)
 			if err != nil {
 				return err
 			}
@@ -442,10 +527,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		default:
 			writeError(w, http.StatusInternalServerError, err)
 		}
+		if s.logger != nil {
+			s.logger.Warn("job rejected", "trace_id", tr.ID(), "bench", req.Bench, "policy", req.Policy, "error", err.Error())
+		}
 		return
 	}
 	j.handle = h
 	s.m.submitted.Add(1)
+	if s.logger != nil {
+		s.logger.Info("job submitted", "job_id", j.id, "trace_id", tr.ID(), "bench", req.Bench, "policy", req.Policy, "priority", req.Priority)
+	}
 	go s.watch(j)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
@@ -463,15 +554,23 @@ func (s *Server) watch(j *job) {
 		s.m.failed.Add(1)
 	}
 	j.finish(j.handle.State(), j.handle.Err())
+	if s.logger != nil {
+		st := j.status()
+		attrs := []any{"job_id", j.id, "trace_id", st.TraceID, "state", st.State, "duration_ms", st.DurationMS, "cache_hit", st.CacheHit}
+		if st.Error != "" {
+			attrs = append(attrs, "error", st.Error)
+		}
+		s.logger.Info("job finished", attrs...)
+	}
 }
 
 // register allocates a job record, evicting the oldest terminal record
 // beyond the retention bound.
-func (s *Server) register(req Request) *job {
+func (s *Server) register(req Request, tr *obs.Trace) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	j := newJob(fmt.Sprintf("j%06d-%s-%s", s.seq, req.Bench, req.Policy), req)
+	j := newJob(fmt.Sprintf("j%06d-%s-%s", s.seq, req.Bench, req.Policy), req, tr)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	for len(s.order) > s.maxJobs {
@@ -598,6 +697,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the traffic-readiness probe, distinct from /healthz
+// (liveness): it answers 503 until the daemon is fully wired (a cluster
+// worker stays unready until its coordinator registration lands) and again
+// once draining starts. Smoke scripts and load balancers poll this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.pool.Stats()
+	status, code := "ready", http.StatusOK
+	switch {
+	case st.Draining:
+		status, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status, code = "starting", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status})
+}
+
+// handleSpans serves a job's trace: by default Chrome trace-event JSON
+// (loadable in Perfetto), with ?format=raw for the obs.Export form the
+// coordinator ingests when joining worker spans into its own timeline.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if j.trace == nil {
+		writeError(w, http.StatusNotFound, errors.New("job has no trace"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if r.URL.Query().Get("format") == "raw" {
+		j.trace.WriteJSON(w)
+		return
+	}
+	j.trace.WriteChrome(w)
+}
+
 // handleMetrics renders the server, pool and cache metrics as a telemetry
 // summary. The atomics are snapshotted into a fresh registry at dump time —
 // registry counters themselves are single-writer and must not be bumped
@@ -640,7 +777,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.metricsExtra != nil {
 		s.metricsExtra(reg)
 	}
+	s.hists.Fill(reg)
 
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	reg.WriteSummary(w)

@@ -167,11 +167,23 @@ func (h *Histogram) Count() uint64 { return h.count }
 // Sum returns the sum of all samples.
 func (h *Histogram) Sum() int64 { return h.sum }
 
-// Min returns the smallest sample (0 before any sample).
-func (h *Histogram) Min() int64 { return h.min }
+// Min returns the smallest sample. Before any sample it reports 0, never
+// an internal sentinel, so exporters render an empty histogram with a
+// coherent min <= max instead of an impossible range.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
 
-// Max returns the largest sample (0 before any sample).
-func (h *Histogram) Max() int64 { return h.max }
+// Max returns the largest sample (0 before any sample, like Min).
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
 
 // Mean returns the sample mean (0 before any sample).
 func (h *Histogram) Mean() float64 {
@@ -202,6 +214,32 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	h := &Histogram{name: name, bounds: b, counts: make([]uint64, len(b)+1)}
 	r.hists[name] = h
 	return h
+}
+
+// Clone returns an independent copy of the histogram, including its
+// counts. A concurrent collector (HistSet) clones under its own lock to
+// hand a consistent snapshot to a single-writer Registry.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		name:   h.name,
+		bounds: append([]int64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		count:  h.count,
+		sum:    h.sum,
+		min:    h.min,
+		max:    h.max,
+	}
+	return c
+}
+
+// AttachHistogram registers an existing histogram under its own name,
+// replacing any histogram already registered there. Snapshot-style
+// exporters (the polyflowd /metrics handler) use it to inject cloned
+// concurrent histograms into a fresh dump registry.
+func (r *Registry) AttachHistogram(h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[h.name] = h
 }
 
 // ExpBounds returns n ascending bucket bounds starting at first and
@@ -282,7 +320,7 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 // buckets.
 func writeHistogram(w io.Writer, name string, h *Histogram) error {
 	if _, err := fmt.Fprintf(w, "histogram %-36s count=%d mean=%.1f min=%d max=%d\n",
-		name, h.count, h.Mean(), h.min, h.max); err != nil {
+		name, h.count, h.Mean(), h.Min(), h.Max()); err != nil {
 		return err
 	}
 	if h.count == 0 {

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updatePromGolden = flag.Bool("update-prom", false, "rewrite the Prometheus exposition golden")
+
+// promTestRegistry builds a registry with fixed values covering every
+// metric type, a labeled series pair, and an empty histogram.
+func promTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("server.jobs.submitted").Add(7)
+	reg.Counter("server.http.requests").Add(41)
+	reg.Gauge("pool.workers").Set(4)
+	h := reg.Histogram("server.phase.simulate_ms", []int64{1, 10, 100})
+	h.Observe(3)
+	h.Observe(12)
+	h.Observe(12)
+	h.Observe(4000)
+	reg.Histogram("server.phase.encode_ms", []int64{1, 10, 100}) // empty
+	hs := NewHistSet()
+	hs.Observe(`server.http.latency_ms{route="POST /v1/jobs"}`, []int64{1, 10}, 2)
+	hs.Observe(`server.http.latency_ms{route="GET /metrics"}`, []int64{1, 10}, 1)
+	hs.Observe(`server.http.latency_ms{route="GET /metrics"}`, []int64{1, 10}, 50)
+	hs.Fill(reg)
+	return reg
+}
+
+// TestWritePrometheusGolden pins a stable-name subset of the exposition:
+// renaming server.jobs.submitted or changing the histogram rendering is a
+// deliberate, reviewed act.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden.txt")
+	if *updatePromGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-prom to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden (run with -update-prom if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusValidates runs the exposition checker over the
+// writer's own output: unique names, TYPE-before-samples, monotone
+// cumulative buckets, HELP lines for the required families.
+func TestWritePrometheusValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckExposition(bytes.NewReader(buf.Bytes()),
+		"server_jobs_submitted", "pool_workers", "server_phase_simulate_ms", "server_http_latency_ms")
+	if err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, buf.Bytes())
+	}
+}
+
+// TestCheckExpositionRejects proves the checker is not a rubber stamp.
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "foo 1\n",
+		"duplicate series": "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"duplicate TYPE":   "# TYPE foo counter\n# TYPE foo gauge\n",
+		"bad value":        "# TYPE foo counter\nfoo abc\n",
+		"bad name":         "# TYPE foo counter\n1foo 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" + `h_bucket{le="+Inf"} 5` + "\n",
+		"missing +Inf": "# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_count 7\n",
+	}
+	for name, in := range cases {
+		if err := CheckExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: checker accepted invalid exposition:\n%s", name, in)
+		}
+	}
+	if err := CheckExposition(strings.NewReader("# TYPE foo counter\nfoo 1\n"), "missing_family"); err == nil {
+		t.Error("missing required family not reported")
+	}
+}
+
+// TestEmptyHistogramMinMax is the satellite regression: an unobserved
+// histogram must report min=0 max=0, not internal sentinels, so exporters
+// never render min > max.
+func TestEmptyHistogramMinMax(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("empty", []int64{1, 2})
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram min=%d max=%d, want 0/0", h.Min(), h.Max())
+	}
+	if h.Min() > h.Max() {
+		t.Fatal("empty histogram reports min > max")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "min=0 max=0") {
+		t.Fatalf("summary renders sentinels: %s", buf.String())
+	}
+	h.Observe(-5)
+	if h.Min() != -5 || h.Max() != -5 {
+		t.Fatalf("after one sample min=%d max=%d, want -5/-5", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramCloneIsIndependent guards the snapshot path: mutating the
+// original after Clone must not leak into the copy.
+func TestHistogramCloneIsIndependent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []int64{10})
+	h.Observe(5)
+	c := h.Clone()
+	h.Observe(100)
+	if c.Count() != 1 || c.Sum() != 5 {
+		t.Fatalf("clone count=%d sum=%d, want 1/5", c.Count(), c.Sum())
+	}
+	_, counts := c.Buckets()
+	if counts[0] != 1 || counts[1] != 0 {
+		t.Fatalf("clone buckets = %v", counts)
+	}
+}
+
+// TestHistSetConcurrent hammers one labeled histogram from many
+// goroutines; run under -race this is the service-side thread-safety
+// guard Registry handles deliberately do not give.
+func TestHistSetConcurrent(t *testing.T) {
+	hs := NewHistSet()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				hs.Observe("x", []int64{1, 10, 100}, int64(i%200))
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	reg := NewRegistry()
+	hs.Fill(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x_count 8000") {
+		t.Fatalf("lost samples:\n%s", buf.String())
+	}
+}

@@ -3,6 +3,7 @@ package tune
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"repro/internal/attrib"
@@ -31,6 +32,10 @@ type Options struct {
 	MinGain int64
 	// Log, when non-nil, receives one line per evaluation.
 	Log func(format string, args ...any)
+	// Logger, when non-nil, additionally receives the same trajectory as
+	// structured records (bench/policy/round/mask/cycles attributes) — the
+	// service-stack form of Log. Either or both may be set.
+	Logger *slog.Logger
 }
 
 func (o *Options) fill() {
@@ -48,6 +53,10 @@ func (o *Options) fill() {
 func (o *Options) logf(format string, args ...any) {
 	if o.Log != nil {
 		o.Log(format, args...)
+	}
+	if o.Logger != nil {
+		o.Logger.Info(fmt.Sprintf(format, args...),
+			"component", "tune", "bench", o.Bench, "policy", o.Policy)
 	}
 }
 
