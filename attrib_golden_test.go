@@ -21,40 +21,46 @@ var updateAttrib = flag.Bool("update", false, "rewrite golden files")
 // silently shifts per-site accounting. Regenerate with `go test -run
 // TestAttributionGolden -update .` after an intentional change.
 func TestAttributionGolden(t *testing.T) {
-	b, err := speculate.Load("gzip")
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := machine.PolyFlowConfig()
-	cfg.Attribution = attrib.NewTable()
-	res, err := b.RunNamed("postdoms", cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := machine.VerifyAttribution(cfg.Attribution, res); err != nil {
-		t.Fatal(err)
-	}
-	rep := attrib.NewReport(cfg.Attribution, b.Name, "postdoms", res.Config, res.Cycles, res.Retired)
-	var buf bytes.Buffer
-	if err := rep.WriteJSON(&buf); err != nil {
-		t.Fatal(err)
-	}
+	// One workload per family: gzip pins the synthetic path, quicksort the
+	// loader + syscall path (its golden gates the CI kernels-smoke job).
+	for _, name := range []string{"gzip", "quicksort"} {
+		t.Run(name, func(t *testing.T) {
+			b, err := speculate.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := machine.PolyFlowConfig()
+			cfg.Attribution = attrib.NewTable()
+			res, err := b.RunNamed("postdoms", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := machine.VerifyAttribution(cfg.Attribution, res); err != nil {
+				t.Fatal(err)
+			}
+			rep := attrib.NewReport(cfg.Attribution, b.Name, "postdoms", res.Config, res.Cycles, res.Retired)
+			var buf bytes.Buffer
+			if err := rep.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
 
-	golden := filepath.Join("testdata", "attrib", "gzip_postdoms.golden.json")
-	if *updateAttrib {
-		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (regenerate with -update)", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Fatalf("attribution report drifted from %s (regenerate with -update if intended)\ngot %d bytes, want %d",
-			golden, buf.Len(), len(want))
+			golden := filepath.Join("testdata", "attrib", name+"_postdoms.golden.json")
+			if *updateAttrib {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("attribution report drifted from %s (regenerate with -update if intended)\ngot %d bytes, want %d",
+					golden, buf.Len(), len(want))
+			}
+		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/harness"
 )
 
 // The perf trajectory of the timing model is recorded in
@@ -36,6 +37,10 @@ type benchRecord struct {
 	Date       string                `json:"date"`
 	Go         string                `json:"go"`
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
+	// KernelsPostdomsSpeedupPct records each kernels-family workload's
+	// postdoms speedup over the superscalar baseline at this commit, so
+	// the family's headline numbers live next to the perf history.
+	KernelsPostdomsSpeedupPct map[string]float64 `json:"kernels_postdoms_speedup_pct,omitempty"`
 }
 
 // benchHistory keeps existing entries as raw JSON: the file also holds
@@ -51,7 +56,7 @@ func TestWriteBenchBaseline(t *testing.T) {
 	}
 	// Prepare every workload up front so the recorded numbers measure the
 	// simulator, not the one-time assemble/emulate/analyze of cold caches.
-	for _, name := range speculate.WorkloadNames() {
+	for _, name := range speculate.AllWorkloadNames() {
 		if _, err := speculate.Load(name); err != nil {
 			t.Fatal(err)
 		}
@@ -74,10 +79,12 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Benchmarks: map[string]benchEntry{
 			"SimulatorThroughput": measure(BenchmarkSimulatorThroughput),
 			"Figure9":             measure(BenchmarkFigure9),
+			"KernelsGrid":         measure(BenchmarkKernelsGrid),
 			"TraceReplay":         measure(BenchmarkTraceReplay),
 			"GridPerCell":         measure(BenchmarkGridPerCell),
 			"GridBatched":         measure(BenchmarkGridBatched),
 		},
+		KernelsPostdomsSpeedupPct: kernelsSpeedups(t),
 	}
 
 	const path = "BENCH_simulator.json"
@@ -100,4 +107,22 @@ func TestWriteBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("recorded %+v", rec)
+}
+
+// kernelsSpeedups runs the kernels-family policy grid once and extracts
+// each kernel's postdoms speedup over the superscalar baseline.
+func kernelsSpeedups(t *testing.T) map[string]float64 {
+	tab, err := harness.Figure9Opts(harness.Options{Family: "kernels"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := tab.PolicyRow("postdoms")
+	if !ok {
+		t.Fatal("kernels grid has no postdoms column")
+	}
+	out := make(map[string]float64, len(tab.Benches))
+	for i, name := range tab.Benches {
+		out[name] = row[i]
+	}
+	return out
 }

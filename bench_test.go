@@ -60,6 +60,16 @@ func BenchmarkFigure9(b *testing.B) { benchSpeedupTable(b, harness.Figure9) }
 // BenchmarkFigure10 regenerates the heuristic-combination comparison.
 func BenchmarkFigure10(b *testing.B) { benchSpeedupTable(b, harness.Figure10) }
 
+// BenchmarkKernelsGrid runs the individual-heuristic grid over the kernels
+// workload family — the five loader + syscall programs — reporting the
+// postdoms-average speedup the same way Figure 9 does for the synthetic
+// twelve.
+func BenchmarkKernelsGrid(b *testing.B) {
+	benchSpeedupTable(b, func() (*harness.SpeedupTable, error) {
+		return harness.Figure9Opts(harness.Options{Family: "kernels"})
+	})
+}
+
 // BenchmarkFigure12 regenerates the reconvergence-predictor comparison.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -56,7 +56,7 @@ func main() {
 	case *bench != "":
 		w, ok := workloads.ByName(*bench)
 		if !ok {
-			fail(fmt.Errorf("unknown workload %q (have %v)", *bench, workloads.Names()))
+			fail(fmt.Errorf("unknown workload %q (have %v)", *bench, workloads.AllNames()))
 		}
 		src, name = w.Source, w.Name
 	default:

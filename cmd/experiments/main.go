@@ -41,6 +41,7 @@ import (
 var (
 	format        = flag.String("format", "text", "output format: text, csv, or json (csv/json for figures 5 and 9-12)")
 	bench         = flag.String("bench", "", "comma-separated benchmark filter (default: all)")
+	family        = flag.String("family", "", `workload family for the grid: "synthetic" (default) or "kernels"`)
 	policy        = flag.String("policy", "", "comma-separated policy filter (default: all)")
 	traces        = flag.String("trace-dir", "", "write per-cell Chrome traces and metrics summaries into this directory")
 	attribs       = flag.String("attrib-dir", "", "write per-cell spawn-site attribution reports (JSON) into this directory")
@@ -101,6 +102,7 @@ func main() {
 func options() (harness.Options, error) {
 	o := harness.Options{
 		Benches:   splitList(*bench),
+		Family:    *family,
 		Policies:  splitList(*policy),
 		TraceDir:  *traces,
 		AttribDir: *attribs,

@@ -7,12 +7,27 @@
 //	minicc prog.c                 # print generated assembly
 //	minicc -run prog.c            # compile, execute, print main's result
 //	minicc -simulate prog.c       # compile, analyze, compare machines
+//
+// Output format:
+//
+//   - default: the generated assembly text on stdout, nothing else.
+//   - -run: one line on stdout, "main returned <v> (<n> instructions
+//     executed)".
+//   - -simulate: two lines on stdout — "<s> static instrs, <d> dynamic
+//     instrs, <k> spawn points" then "superscalar IPC <x>; polyflow/postdoms
+//     IPC <y> (<pct>%)".
+//
+// On any failure (unreadable file, compile error, runtime fault) minicc
+// prints a single "minicc: <reason>" diagnostic line to stderr and exits
+// with status 1; internal panics are caught and reported the same way.
+// Bad usage exits with status 2.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/cc"
@@ -25,9 +40,19 @@ import (
 func main() {
 	run := flag.Bool("run", false, "execute the program and print main's return value")
 	simulate := flag.Bool("simulate", false, "simulate superscalar vs PolyFlow")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: minicc [-run|-simulate] file.c
+
+  (default)  print the generated assembly on stdout
+  -run       print "main returned <v> (<n> instructions executed)"
+  -simulate  print the static/dynamic/spawn summary line, then
+             "superscalar IPC <x>; polyflow/postdoms IPC <y> (<pct>%)"
+
+errors are reported as one "minicc: <reason>" line on stderr, exit 1`)
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: minicc [-run|-simulate] file.c")
+		flag.Usage()
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -39,12 +64,24 @@ func main() {
 	}
 }
 
+// fail prints a single-line diagnostic and exits non-zero. Multi-line
+// error text is collapsed so shell pipelines and editors see exactly one
+// line per failure.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "minicc:", err)
+	msg := strings.Join(strings.Fields(err.Error()), " ")
+	fmt.Fprintln(os.Stderr, "minicc:", msg)
 	os.Exit(1)
 }
 
-func drive(src string, run, simulate bool) error {
+// drive runs the selected mode, converting any internal panic from the
+// compiler or machine layers into an ordinary error so the process never
+// dies with a bare stack trace on user input.
+func drive(src string, run, simulate bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
 	asmText, err := cc.Compile(src)
 	if err != nil {
 		return err

@@ -55,6 +55,7 @@ func main() {
 
 	if *list {
 		fmt.Println("workloads:", speculate.WorkloadNames())
+		fmt.Println("kernels:", speculate.FamilyWorkloadNames("kernels"))
 		fmt.Println("policies:", speculate.PolicyNames())
 		return
 	}

@@ -15,13 +15,15 @@ import (
 // IPC samples. This is the contract that lets the event path replace the
 // polled rescan without re-validating the figures. Both runs also carry a
 // spawn-site attribution table whose per-site sums must reconcile exactly
-// with the machine counters and agree across schedulers.
+// with the machine counters and agree across schedulers. The sweep covers
+// every registered family, so the kernels' syscall-bearing traces get the
+// same byte-identity guarantee as the synthetic twelve.
 func TestSchedulerDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential sweep is slow")
 	}
 	policies := []string{"superscalar", "postdoms", "rec_pred"}
-	for _, name := range speculate.WorkloadNames() {
+	for _, name := range speculate.AllWorkloadNames() {
 		b, err := speculate.Load(name)
 		if err != nil {
 			t.Fatal(err)

@@ -21,7 +21,7 @@ func TestEveryWorkloadEveryPolicyRetiresExactly(t *testing.T) {
 		t.Skip("full simulation sweep")
 	}
 	policies := []core.Policy{core.PolicyLoop, core.PolicyHammock, core.PolicyPostdoms}
-	for _, name := range speculate.WorkloadNames() {
+	for _, name := range speculate.AllWorkloadNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

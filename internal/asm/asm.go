@@ -16,6 +16,8 @@
 //
 //	        .data
 //	table:  .word8 f1, f2          # 8-byte cells; labels resolve to addresses
+//	vals:   .word 1, 2, 3          # .word is the native 8-byte cell
+//	msg:    .asciiz "done\n"       # NUL-terminated string, Go-style escapes
 //	buf:    .space 4096            # zeroed bytes
 //
 // Indirect jumps may be annotated with their possible targets:
@@ -57,10 +59,11 @@ type item struct {
 	mnem    string
 	args    []string
 	sec     section
-	codeLen int // instructions emitted (text section)
-	dataLen int // bytes emitted (data section)
-	codePos int // index of first emitted instruction
-	dataPos int // offset of first emitted byte
+	codeLen int    // instructions emitted (text section)
+	dataLen int    // bytes emitted (data section)
+	codePos int    // index of first emitted instruction
+	dataPos int    // offset of first emitted byte
+	bytes   []byte // decoded payload (.asciiz), produced during layout
 }
 
 type assembler struct {
@@ -122,10 +125,7 @@ func (a *assembler) errf(line int, format string, args ...any) error {
 func (a *assembler) parse(src string) error {
 	sec := secText
 	for lineNo, raw := range strings.Split(src, "\n") {
-		line := raw
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
+		line := stripComment(raw)
 		line = strings.TrimSpace(line)
 		for {
 			i := strings.IndexByte(line, ':')
@@ -178,20 +178,61 @@ func isIdent(s string) bool {
 	return true
 }
 
+// stripComment removes a '#' comment, ignoring '#' inside string literals
+// (".asciiz \"#1\"" keeps its hash).
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case inStr && c == '\\':
+			i++ // skip the escaped byte
+		case c == '"':
+			inStr = !inStr
+		case c == '#' && !inStr:
+			return line[:i]
+		}
+	}
+	return line
+}
+
 // splitOperands splits "op a, b, c" into ["op","a","b","c"], keeping memory
-// operands like "8($sp)" intact.
+// operands like "8($sp)" and quoted strings (commas included) intact.
 func splitOperands(line string) []string {
 	i := strings.IndexAny(line, " \t")
 	if i < 0 {
 		return []string{line}
 	}
 	out := []string{line[:i]}
-	for _, f := range strings.Split(line[i+1:], ",") {
-		f = strings.TrimSpace(f)
-		if f != "" {
+	rest := line[i+1:]
+	var cur strings.Builder
+	flush := func() {
+		if f := strings.TrimSpace(cur.String()); f != "" {
 			out = append(out, f)
 		}
+		cur.Reset()
 	}
+	inStr := false
+	for j := 0; j < len(rest); j++ {
+		c := rest[j]
+		switch {
+		case inStr:
+			cur.WriteByte(c)
+			if c == '\\' && j+1 < len(rest) {
+				j++
+				cur.WriteByte(rest[j])
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+			cur.WriteByte(c)
+		case c == ',':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
 	return out
 }
 
@@ -250,8 +291,22 @@ func (a *assembler) layout() error {
 			}
 			it.dataLen = n
 			dataPos += n
-		case ".word8":
+		case ".word8", ".word": // .word is the native 8-byte cell
 			it.dataLen = 8 * len(it.args)
+			dataPos += it.dataLen
+		case ".asciiz":
+			if len(it.args) == 0 {
+				return a.errf(it.line, ".asciiz wants at least one string")
+			}
+			for _, arg := range it.args {
+				s, err := strconv.Unquote(arg)
+				if err != nil {
+					return a.errf(it.line, "bad string literal %s", arg)
+				}
+				it.bytes = append(it.bytes, s...)
+				it.bytes = append(it.bytes, 0) // NUL terminator
+			}
+			it.dataLen = len(it.bytes)
 			dataPos += it.dataLen
 		case ".word4":
 			it.dataLen = 4 * len(it.args)
@@ -284,11 +339,16 @@ func (a *assembler) emit() error {
 			// handled in layout
 		case ".space":
 			data = append(data, make([]byte, it.dataLen)...)
-		case ".word8", ".word4", ".byte":
-			width := map[string]int{".word8": 8, ".word4": 4, ".byte": 1}[it.mnem]
+		case ".asciiz":
+			data = append(data, it.bytes...)
+		case ".word8", ".word", ".word4", ".byte":
+			width := map[string]int{".word8": 8, ".word": 8, ".word4": 4, ".byte": 1}[it.mnem]
 			for _, arg := range it.args {
 				v, err := a.value(it, arg)
 				if err != nil {
+					return err
+				}
+				if err := a.checkWidth(it, v, width); err != nil {
 					return err
 				}
 				for b := 0; b < width; b++ {
@@ -330,6 +390,20 @@ func (a *assembler) emit() error {
 				a.prog.Symbols[addr] = name
 			}
 		}
+	}
+	return nil
+}
+
+// checkWidth rejects data-cell values that do not fit the directive's
+// width (signed or unsigned interpretations both accepted).
+func (a *assembler) checkWidth(it *item, v int64, width int) error {
+	if width >= 8 {
+		return nil
+	}
+	lo := int64(-1) << (8*width - 1) // e.g. -128 for .byte
+	hi := int64(1)<<(8*width) - 1   // e.g. 255 for .byte
+	if v < lo || v > hi {
+		return a.errf(it.line, "%s value %d out of range %d..%d", it.mnem, v, lo, hi)
 	}
 	return nil
 }
@@ -419,6 +493,11 @@ func (a *assembler) encode(it *item) ([]isa.Inst, error) {
 		return []isa.Inst{{Op: isa.OpNOP}}, nil
 	case m == "halt":
 		return []isa.Inst{{Op: isa.OpHALT}}, nil
+	case m == "syscall":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpSYSCALL}}, nil
 	case aluRegOps[m] != 0:
 		if err := need(3); err != nil {
 			return nil, err
@@ -451,6 +530,11 @@ func (a *assembler) encode(it *item) ([]isa.Inst, error) {
 		imm, err := a.value(it, it.args[2])
 		if err != nil {
 			return nil, err
+		}
+		if m == "sll" || m == "srl" || m == "sra" {
+			if imm < 0 || imm > 63 {
+				return nil, a.errf(it.line, "%s shift amount %d out of range 0..63", m, imm)
+			}
 		}
 		return []isa.Inst{{Op: aluImmOps[m], Rd: rd, Rs: rs, Imm: imm}}, nil
 	case m == "lui":

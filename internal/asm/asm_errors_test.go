@@ -1,0 +1,143 @@
+package asm
+
+import (
+	"testing"
+)
+
+// TestAssemblyErrors pins the assembler's error paths with exact messages:
+// a diagnostic that drifts silently is a diagnostic nobody can grep for.
+func TestAssemblyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "duplicate label",
+			src:  "dup:    nop\ndup:    halt\n",
+			want: `asm: line 2: duplicate label "dup"`,
+		},
+		{
+			name: "duplicate label across sections",
+			src:  "x:      nop\n        .data\nx:      .word 1\n",
+			want: `asm: line 3: duplicate label "x"`,
+		},
+		{
+			name: "duplicate func",
+			src:  "        .func f\n        ret\n        .func f\n        ret\n",
+			want: `asm: line 3: duplicate label "f"`,
+		},
+		{
+			name: "undefined symbol in branch",
+			src:  "        beq $t0, $t1, nowhere\n        halt\n",
+			want: `asm: line 1: undefined symbol "nowhere"`,
+		},
+		{
+			name: "undefined symbol in la",
+			src:  "        la $a0, missing_buf\n        halt\n",
+			want: `asm: line 1: undefined symbol "missing_buf"`,
+		},
+		{
+			name: "undefined symbol in data cell",
+			src:  "        .data\nptr:    .word8 ghost\n",
+			want: `asm: line 2: undefined symbol "ghost"`,
+		},
+		{
+			name: "shift amount too large",
+			src:  "        sll $t0, $t0, 64\n        halt\n",
+			want: "asm: line 1: sll shift amount 64 out of range 0..63",
+		},
+		{
+			name: "shift amount negative",
+			src:  "        sra $t0, $t0, -1\n        halt\n",
+			want: "asm: line 1: sra shift amount -1 out of range 0..63",
+		},
+		{
+			name: "byte value out of range",
+			src:  "        .data\nb:      .byte 256\n",
+			want: "asm: line 2: .byte value 256 out of range -128..255",
+		},
+		{
+			name: "word4 value out of range",
+			src:  "        .data\nw:      .word4 4294967296\n",
+			want: "asm: line 2: .word4 value 4294967296 out of range -2147483648..4294967295",
+		},
+		{
+			name: "bad string literal",
+			src:  "        .data\ns:      .asciiz \"unterminated\n",
+			want: `asm: line 2: bad string literal "unterminated`,
+		},
+		{
+			name: "unknown mnemonic",
+			src:  "        frobnicate $t0\n",
+			want: `asm: line 1: unknown mnemonic "frobnicate"`,
+		},
+		{
+			name: "unknown directive",
+			src:  "        .quadword 1\n",
+			want: "asm: line 1: unknown directive .quadword",
+		},
+		{
+			name: "syscall takes no operands",
+			src:  "        syscall $v0\n",
+			want: "asm: line 1: syscall wants 0 operands, got 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error %q", tc.want)
+			}
+			if got := err.Error(); got != tc.want {
+				t.Fatalf("error = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAsciizLayout checks the .asciiz byte layout: escapes decoded,
+// NUL-terminated, commas inside strings preserved.
+func TestAsciizLayout(t *testing.T) {
+	p, err := Assemble(`
+        halt
+        .data
+msg:    .asciiz "a,b\n", "#x"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\x00#x\x00"
+	if got := string(p.Data); got != want {
+		t.Fatalf("data = %q, want %q", got, want)
+	}
+	if p.Labels["msg"] != p.DataBase {
+		t.Fatalf("msg label = %#x, want data base %#x", p.Labels["msg"], p.DataBase)
+	}
+}
+
+// TestWordDirective checks that .word emits native 8-byte cells and
+// resolves label operands.
+func TestWordDirective(t *testing.T) {
+	p, err := Assemble(`
+main:   halt
+        .data
+cells:  .word 7, main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 16 {
+		t.Fatalf("data length = %d, want 16", len(p.Data))
+	}
+	if p.Data[0] != 7 {
+		t.Fatalf("first cell = %d, want 7", p.Data[0])
+	}
+	var addr uint64
+	for i := 0; i < 8; i++ {
+		addr |= uint64(p.Data[8+i]) << (8 * i)
+	}
+	if addr != p.CodeBase {
+		t.Fatalf("second cell = %#x, want main at %#x", addr, p.CodeBase)
+	}
+}

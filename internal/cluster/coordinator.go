@@ -338,7 +338,7 @@ func (c *Coordinator) ringKeyFor(bench string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("cluster: unknown bench %q", bench)
 	}
-	k, err := artifact.NewTraceKey(w.Name, artifact.SourceSHA(w.Source), w.MaxInstrs)
+	k, err := artifact.NewTraceKey(w.Name, w.SHA(), w.MaxInstrs)
 	if err != nil {
 		return "", err
 	}

@@ -15,7 +15,17 @@ import (
 // models are trace-driven, running Check over a trace before simulation
 // guarantees the machine only ever retires architecturally correct state.
 func Check(p *isa.Program, tr *trace.Trace) error {
+	return CheckOS(p, tr, nil)
+}
+
+// CheckOS is Check for programs that execute syscalls: os services the
+// replay's syscall instructions. The handler must be fresh (or reset) and
+// configured identically to the one that produced the trace — determinism
+// of the OS layer is what makes the replay reproduce the recorded stream.
+// A nil os degrades to plain Check.
+func CheckOS(p *isa.Program, tr *trace.Trace, os SyscallHandler) error {
 	m := New(p, 0)
+	m.OS = os
 	for i := range tr.Entries {
 		if m.Halted {
 			return fmt.Errorf("emu: check: trace has %d entries but execution halted at %d", len(tr.Entries), i)

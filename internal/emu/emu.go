@@ -28,6 +28,24 @@ type Config struct {
 	// loop is untouched: counts are derived from the retired trace, so a
 	// nil registry costs nothing.
 	Metrics *telemetry.Registry
+	// OS handles syscall instructions. Nil makes OpSYSCALL an
+	// architectural fault — the synthetic workloads never execute one.
+	OS SyscallHandler
+	// Segments, when non-nil, restricts data accesses to the mapped
+	// regions; out-of-bounds loads and stores fault with the PC, effective
+	// address, and segment map in the error. Nil leaves the sparse address
+	// space unrestricted.
+	Segments []Segment
+}
+
+// SyscallHandler services OpSYSCALL instructions. The handler reads the
+// service number from $v0 and arguments from $a0/$a1 (and program memory),
+// and returns the value the emulator writes back to $v0. It may halt the
+// machine (exit). To keep runs byte-reproducible and cacheable, a handler
+// must be deterministic: internal/sysos implements one over preloaded
+// stdin and captured output.
+type SyscallHandler interface {
+	Syscall(m *Machine) (int64, error)
 }
 
 // DefaultMaxInstrs is the safety cap on retired instructions.
@@ -41,6 +59,10 @@ type Machine struct {
 	PC     uint64
 	Halted bool
 	Count  int64 // retired instructions
+	// OS services syscall instructions; nil faults on OpSYSCALL.
+	OS SyscallHandler
+	// Segs, when non-nil, bounds-checks every data access (see Config.Segments).
+	Segs []Segment
 }
 
 // New creates a machine with the program image loaded and the ABI state
@@ -66,7 +88,8 @@ func (m *Machine) Step(tr *trace.Trace) error {
 	}
 	inst, ok := m.Prog.InstAt(m.PC)
 	if !ok {
-		return fmt.Errorf("emu: PC 0x%x outside code segment after %d instructions", m.PC, m.Count)
+		return fmt.Errorf("emu: PC 0x%x outside code segment [0x%x,0x%x) after %d instructions",
+			m.PC, m.Prog.CodeBase, m.Prog.CodeBase+uint64(len(m.Prog.Code))*isa.InstSize, m.Count)
 	}
 	pc := m.PC
 	next := pc + isa.InstSize
@@ -149,6 +172,9 @@ func (m *Machine) Step(tr *trace.Trace) error {
 	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLW, isa.OpLD:
 		addr := uint64(rs + inst.Imm)
 		w := inst.MemWidth()
+		if err := m.checkAccess(pc, addr, w, "load"); err != nil {
+			return err
+		}
 		v := m.Mem.Read(addr, w)
 		switch inst.Op {
 		case isa.OpLB:
@@ -169,6 +195,9 @@ func (m *Machine) Step(tr *trace.Trace) error {
 	case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
 		addr := uint64(rs + inst.Imm)
 		w := inst.MemWidth()
+		if err := m.checkAccess(pc, addr, w, "store"); err != nil {
+			return err
+		}
 		m.Mem.Write(addr, w, uint64(rt))
 		e.Addr, e.MemW = addr, uint8(w)
 		e.Flags |= trace.FlagStore
@@ -215,6 +244,17 @@ func (m *Machine) Step(tr *trace.Trace) error {
 		}
 		e.Flags |= trace.FlagCall | trace.FlagIndirect
 
+	case isa.OpSYSCALL:
+		if m.OS == nil {
+			return fmt.Errorf("emu: syscall %d at PC 0x%x (%s) with no OS attached",
+				m.Regs[isa.V0], pc, m.Prog.SymbolFor(pc))
+		}
+		v, err := m.OS.Syscall(m)
+		if err != nil {
+			return fmt.Errorf("emu: PC 0x%x (%s): %w", pc, m.Prog.SymbolFor(pc), err)
+		}
+		m.Regs[isa.V0] = v
+
 	default:
 		return fmt.Errorf("emu: invalid opcode %v at PC 0x%x", inst.Op, pc)
 	}
@@ -258,6 +298,8 @@ func Run(p *isa.Program, cfg Config) (*trace.Trace, error) {
 		max = DefaultMaxInstrs
 	}
 	m := New(p, cfg.StackTop)
+	m.OS = cfg.OS
+	m.Segs = cfg.Segments
 	var tr *trace.Trace
 	if !cfg.NoTrace {
 		tr = &trace.Trace{Entries: make([]trace.Entry, 0, 1<<16)}

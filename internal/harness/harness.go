@@ -33,6 +33,11 @@ type Options struct {
 	// Benches restricts the grid to the named workloads (figure order is
 	// kept); empty means all of them.
 	Benches []string
+	// Family selects the base workload pool: "synthetic" (the default
+	// twelve), "kernels", etc. — see speculate.WorkloadFamilies. Empty
+	// keeps the synthetic default, except that explicitly named Benches
+	// resolve across every family, so a mixed -bench list needs no flag.
+	Family string
 	// Policies restricts the columns to the named policies; empty means
 	// all of them. For Figure 11 this filters the exclusion columns (the
 	// postdoms reference always runs — the loss metric needs it).
@@ -388,6 +393,14 @@ func BenchesNamed(names []string) ([]*speculate.Bench, error) {
 // benchesNamed prepares the named benchmarks on o's scheduling pool.
 func benchesNamed(o Options, names []string) ([]*speculate.Bench, error) {
 	all := speculate.WorkloadNames()
+	if o.Family != "" {
+		if all = speculate.FamilyWorkloadNames(o.Family); all == nil {
+			return nil, fmt.Errorf("harness: unknown workload family %q (have %v)", o.Family, speculate.WorkloadFamilies())
+		}
+	} else if len(names) > 0 {
+		// Explicit names resolve across every family.
+		all = speculate.AllWorkloadNames()
+	}
 	var wanted []string
 	for _, name := range all {
 		if matches(names, name) {

@@ -153,6 +153,14 @@ const (
 	OpNOP
 	OpHALT
 
+	// OpSYSCALL requests an operating-system service from the emulator's
+	// attached syscall handler (internal/sysos). The service number is read
+	// from $v0 and the result written back to $v0; $a0/$a1 carry arguments.
+	// Placed after OpHALT so the opcode-range classification predicates
+	// (and the pinned trace-store encodings) of the pre-syscall opcode
+	// space are untouched.
+	OpSYSCALL
+
 	numOps
 )
 
@@ -170,8 +178,12 @@ var opNames = [numOps]string{
 	OpBEQ: "beq", OpBNE: "bne", OpBLEZ: "blez", OpBGTZ: "bgtz",
 	OpBLTZ: "bltz", OpBGEZ: "bgez",
 	OpJ: "j", OpJAL: "jal", OpJR: "jr", OpJALR: "jalr",
-	OpNOP: "nop", OpHALT: "halt",
+	OpNOP: "nop", OpHALT: "halt", OpSYSCALL: "syscall",
 }
+
+// Valid reports whether op is a defined opcode. Image loaders use it to
+// reject malformed encodings.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
 
 // String returns the assembly mnemonic of the opcode.
 func (op Op) String() string {
@@ -254,6 +266,8 @@ func (i Inst) Dst() (Reg, bool) {
 		d = RA
 	case i.Op == OpJALR:
 		d = i.Rd
+	case i.Op == OpSYSCALL:
+		d = V0 // every service writes its result (or echoes its code) to $v0
 	default:
 		return 0, false
 	}
@@ -291,6 +305,9 @@ func (i Inst) Srcs(dst []Reg) []Reg {
 		add(i.Rs)
 	case i.Op == OpJR || i.Op == OpJALR:
 		add(i.Rs)
+	case i.Op == OpSYSCALL:
+		add(V0) // service number
+		add(A0) // first argument
 	}
 	return dst
 }
@@ -298,7 +315,7 @@ func (i Inst) Srcs(dst []Reg) []Reg {
 // String disassembles the instruction.
 func (i Inst) String() string {
 	switch {
-	case i.Op == OpNOP || i.Op == OpHALT:
+	case i.Op == OpNOP || i.Op == OpHALT || i.Op == OpSYSCALL:
 		return i.Op.String()
 	case i.Op >= OpADD && i.Op <= OpREM:
 		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs, i.Rt)

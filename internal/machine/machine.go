@@ -577,6 +577,10 @@ func (s *sim) latency(e *trace.Entry) int32 {
 		return 3
 	case e.Op == isa.OpDIV || e.Op == isa.OpREM:
 		return 12
+	case e.Op == isa.OpSYSCALL:
+		// Kernel crossing: the OS work itself happened at emulation time;
+		// the timing model charges a fixed long-latency service cost.
+		return 24
 	}
 	return 1
 }

@@ -339,7 +339,7 @@ func (s *Server) prefetchTrace(name string) {
 	if !ok {
 		return
 	}
-	key, err := artifact.NewTraceKey(w.Name, artifact.SourceSHA(w.Source), w.MaxInstrs)
+	key, err := artifact.NewTraceKey(w.Name, w.SHA(), w.MaxInstrs)
 	if err != nil {
 		return
 	}
@@ -444,14 +444,14 @@ func (s *Server) simulate(ctx context.Context, req Request, progress ProgressFun
 // validate rejects malformed requests before they consume a queue slot.
 func validate(req Request) error {
 	okBench := false
-	for _, n := range speculate.WorkloadNames() {
+	for _, n := range speculate.AllWorkloadNames() {
 		if n == req.Bench {
 			okBench = true
 			break
 		}
 	}
 	if !okBench {
-		return fmt.Errorf("unknown bench %q (have %v)", req.Bench, speculate.WorkloadNames())
+		return fmt.Errorf("unknown bench %q (have %v)", req.Bench, speculate.AllWorkloadNames())
 	}
 	okPolicy := false
 	for _, n := range speculate.PolicyNames() {

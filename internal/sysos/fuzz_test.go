@@ -1,0 +1,89 @@
+package sysos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// seedImages builds a spread of valid images for the fuzz corpus: empty
+// program, data-only, jump tables, and the syscall demo.
+func seedImages(f *testing.F) [][]byte {
+	f.Helper()
+	sources := []string{
+		"main: halt\n",
+		hello,
+		`
+        .func main
+main:   li  $t0, 2
+        la  $t1, table
+        sll $t2, $t0, 3
+        add $t1, $t1, $t2
+        ld  $t3, 0($t1)
+        jr  $t3
+        .targets c0, c1, c2
+c0:     halt
+c1:     halt
+c2:     li $v0, 10
+        syscall
+        .data
+table:  .word8 c0, c1, c2
+buf:    .space 64
+`,
+	}
+	var out [][]byte
+	for _, src := range sources {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		img, err := EncodeImage(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, img)
+	}
+	return out
+}
+
+// FuzzLoader holds the loader's two contracts over arbitrary bytes:
+// malformed images error (never panic), and any accepted image is
+// canonical — re-encoding the loaded program reproduces the input
+// byte-for-byte.
+func FuzzLoader(f *testing.F) {
+	for _, img := range seedImages(f) {
+		f.Add(img)
+		// A few systematic corruptions widen the corpus beyond the happy path.
+		if len(img) > 16 {
+			f.Add(img[:len(img)/2])
+			mut := bytes.Clone(img)
+			mut[12] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("POLYOBJ1"))
+	f.Fuzz(func(t *testing.T, img []byte) {
+		p, err := LoadImage(img)
+		if err != nil {
+			return // rejected cleanly
+		}
+		enc, err := EncodeImage(p)
+		if err != nil {
+			t.Fatalf("loaded image failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, img) {
+			t.Fatalf("accepted image is not canonical:\n in %x\nout %x", img, enc)
+		}
+		// And the fixed point really is fixed.
+		p2, err := LoadImage(enc)
+		if err != nil {
+			t.Fatalf("re-encoded image failed to load: %v", err)
+		}
+		enc2, err := EncodeImage(p2)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("second round trip diverged (err %v)", err)
+		}
+	})
+}

@@ -1,0 +1,389 @@
+package sysos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// The polyflow-obj/1 image is the multi-section object format the loader
+// consumes: entry point, decoded code, initialized data with a trailing
+// bss (zero) section, the label/symbol tables, function boundaries, and
+// the jump-table annotations the static analyses need. All integers are
+// little-endian; string tables are sorted so encoding is canonical — for
+// any image LoadImage accepts, EncodeImage(LoadImage(img)) == img, a
+// property FuzzLoader holds.
+//
+// Layout:
+//
+//	magic    "POLYOBJ1"
+//	u64      entry PC
+//	u64      code base, u32 n, n × {u8 op, u8 rd, u8 rs, u8 rt, i64 imm}
+//	u64      data base, u32 init-len, init bytes, u32 bss-len
+//	u32      n labels,      n × {u32 len, name, u64 addr}   (sorted by name)
+//	u32      n symbols,     n × {u64 addr, u32 len, name}   (sorted by addr)
+//	u32      n funcs,       n × u64                          (strictly increasing)
+//	u32      n jump tables, n × {u64 pc, u32 k, k × u64}     (sorted by pc)
+//	u32      IEEE CRC-32 of everything above
+const imageMagic = "POLYOBJ1"
+
+// Validation bounds: an image section that claims more than these is
+// rejected before any allocation is sized from it.
+const (
+	maxImageInsts   = 1 << 20
+	maxImageData    = 1 << 26
+	maxImageNames   = 1 << 16
+	maxImageNameLen = 1 << 10
+	maxImageTargets = 1 << 12
+)
+
+// EncodeImage serializes a linked program as a polyflow-obj/1 image.
+func EncodeImage(p *isa.Program) ([]byte, error) {
+	if len(p.Code) > maxImageInsts {
+		return nil, fmt.Errorf("sysos: encode: %d instructions exceed the image bound %d", len(p.Code), maxImageInsts)
+	}
+	if len(p.Data) > maxImageData {
+		return nil, fmt.Errorf("sysos: encode: %d data bytes exceed the image bound %d", len(p.Data), maxImageData)
+	}
+	if len(p.Labels) > maxImageNames || len(p.Symbols) > maxImageNames ||
+		len(p.Funcs) > maxImageNames || len(p.JumpTargets) > maxImageNames {
+		return nil, fmt.Errorf("sysos: encode: symbol table exceeds the image bound %d", maxImageNames)
+	}
+	for name := range p.Labels {
+		if len(name) > maxImageNameLen {
+			return nil, fmt.Errorf("sysos: encode: label %.32q... exceeds the name bound %d", name, maxImageNameLen)
+		}
+	}
+	for pc, tgts := range p.JumpTargets {
+		if len(tgts) == 0 || len(tgts) > maxImageTargets {
+			return nil, fmt.Errorf("sysos: encode: jump table at 0x%x has %d targets (bound %d)", pc, len(tgts), maxImageTargets)
+		}
+	}
+	var b []byte
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+
+	b = append(b, imageMagic...)
+	u64(p.Entry)
+
+	u64(p.CodeBase)
+	u32(uint32(len(p.Code)))
+	for _, in := range p.Code {
+		b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rs), byte(in.Rt))
+		u64(uint64(in.Imm))
+	}
+
+	// Initialized data is split canonically: the longest trailing run of
+	// zero bytes becomes the bss section, so zero-filled .space buffers
+	// cost nothing in the image.
+	init := p.Data
+	for len(init) > 0 && init[len(init)-1] == 0 {
+		init = init[:len(init)-1]
+	}
+	u64(p.DataBase)
+	u32(uint32(len(init)))
+	b = append(b, init...)
+	u32(uint32(len(p.Data) - len(init)))
+
+	labels := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		labels = append(labels, name)
+	}
+	sort.Strings(labels)
+	u32(uint32(len(labels)))
+	for _, name := range labels {
+		u32(uint32(len(name)))
+		b = append(b, name...)
+		u64(p.Labels[name])
+	}
+
+	symAddrs := make([]uint64, 0, len(p.Symbols))
+	for addr := range p.Symbols {
+		symAddrs = append(symAddrs, addr)
+	}
+	sort.Slice(symAddrs, func(i, j int) bool { return symAddrs[i] < symAddrs[j] })
+	u32(uint32(len(symAddrs)))
+	for _, addr := range symAddrs {
+		u64(addr)
+		name := p.Symbols[addr]
+		u32(uint32(len(name)))
+		b = append(b, name...)
+	}
+
+	u32(uint32(len(p.Funcs)))
+	for _, pc := range p.Funcs {
+		u64(pc)
+	}
+
+	jts := make([]uint64, 0, len(p.JumpTargets))
+	for pc := range p.JumpTargets {
+		jts = append(jts, pc)
+	}
+	sort.Slice(jts, func(i, j int) bool { return jts[i] < jts[j] })
+	u32(uint32(len(jts)))
+	for _, pc := range jts {
+		u64(pc)
+		tgts := p.JumpTargets[pc]
+		u32(uint32(len(tgts)))
+		for _, t := range tgts {
+			u64(t)
+		}
+	}
+
+	u32(crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+// imageReader is a bounds-checked cursor over image bytes. Every read is
+// guarded, so malformed images produce errors, never panics.
+type imageReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *imageReader) need(n int, what string) error {
+	if n < 0 || len(r.b)-r.pos < n {
+		return fmt.Errorf("sysos: load: truncated image at byte %d reading %s", r.pos, what)
+	}
+	return nil
+}
+
+func (r *imageReader) bytes(n int, what string) ([]byte, error) {
+	if err := r.need(n, what); err != nil {
+		return nil, err
+	}
+	v := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return v, nil
+}
+
+func (r *imageReader) u32(what string) (uint32, error) {
+	v, err := r.bytes(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+
+func (r *imageReader) u64(what string) (uint64, error) {
+	v, err := r.bytes(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}
+
+// count reads a u32 section length and validates it against max.
+func (r *imageReader) count(max int, what string) (int, error) {
+	v, err := r.u32(what)
+	if err != nil {
+		return 0, err
+	}
+	if int64(v) > int64(max) {
+		return 0, fmt.Errorf("sysos: load: %s count %d exceeds bound %d", what, v, max)
+	}
+	return int(v), nil
+}
+
+func (r *imageReader) name(what string) (string, error) {
+	n, err := r.count(maxImageNameLen, what+" length")
+	if err != nil {
+		return "", err
+	}
+	v, err := r.bytes(n, what)
+	if err != nil {
+		return "", err
+	}
+	return string(v), nil
+}
+
+// LoadImage decodes and validates a polyflow-obj/1 image into a linked
+// program. It rejects (with an error, never a panic) anything malformed:
+// truncation, bad opcodes or registers, unsorted tables, checksum
+// mismatches, or trailing garbage. Accepted images are canonical, so a
+// re-encode reproduces the input bytes exactly.
+func LoadImage(img []byte) (*isa.Program, error) {
+	r := &imageReader{b: img}
+	magic, err := r.bytes(len(imageMagic), "magic")
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("sysos: load: bad magic %q (want %q)", magic, imageMagic)
+	}
+
+	p := &isa.Program{
+		Labels:      map[string]uint64{},
+		Symbols:     map[uint64]string{},
+		JumpTargets: map[uint64][]uint64{},
+	}
+	if p.Entry, err = r.u64("entry"); err != nil {
+		return nil, err
+	}
+
+	if p.CodeBase, err = r.u64("code base"); err != nil {
+		return nil, err
+	}
+	ninst, err := r.count(maxImageInsts, "instruction")
+	if err != nil {
+		return nil, err
+	}
+	p.Code = make([]isa.Inst, ninst)
+	for i := range p.Code {
+		raw, err := r.bytes(4, "instruction header")
+		if err != nil {
+			return nil, err
+		}
+		imm, err := r.u64("immediate")
+		if err != nil {
+			return nil, err
+		}
+		in := isa.Inst{Op: isa.Op(raw[0]), Rd: isa.Reg(raw[1]), Rs: isa.Reg(raw[2]), Rt: isa.Reg(raw[3]), Imm: int64(imm)}
+		if !in.Op.Valid() {
+			return nil, fmt.Errorf("sysos: load: instruction %d: invalid opcode %d", i, raw[0])
+		}
+		if in.Rd >= isa.NumRegs || in.Rs >= isa.NumRegs || in.Rt >= isa.NumRegs {
+			return nil, fmt.Errorf("sysos: load: instruction %d: register out of range", i)
+		}
+		p.Code[i] = in
+	}
+
+	if p.DataBase, err = r.u64("data base"); err != nil {
+		return nil, err
+	}
+	initLen, err := r.count(maxImageData, "data byte")
+	if err != nil {
+		return nil, err
+	}
+	init, err := r.bytes(initLen, "data bytes")
+	if err != nil {
+		return nil, err
+	}
+	if initLen > 0 && init[initLen-1] == 0 {
+		return nil, fmt.Errorf("sysos: load: non-canonical data section (trailing zero belongs in bss)")
+	}
+	bss, err := r.count(maxImageData, "bss byte")
+	if err != nil {
+		return nil, err
+	}
+	p.Data = make([]byte, initLen+bss)
+	copy(p.Data, init)
+
+	nlabels, err := r.count(maxImageNames, "label")
+	if err != nil {
+		return nil, err
+	}
+	prevName := ""
+	for i := 0; i < nlabels; i++ {
+		name, err := r.name("label name")
+		if err != nil {
+			return nil, err
+		}
+		addr, err := r.u64("label address")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && name <= prevName {
+			return nil, fmt.Errorf("sysos: load: label table not strictly sorted at %q", name)
+		}
+		prevName = name
+		p.Labels[name] = addr
+	}
+
+	nsyms, err := r.count(maxImageNames, "symbol")
+	if err != nil {
+		return nil, err
+	}
+	var prevAddr uint64
+	for i := 0; i < nsyms; i++ {
+		addr, err := r.u64("symbol address")
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.name("symbol name")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && addr <= prevAddr {
+			return nil, fmt.Errorf("sysos: load: symbol table not strictly sorted at 0x%x", addr)
+		}
+		prevAddr = addr
+		p.Symbols[addr] = name
+	}
+
+	nfuncs, err := r.count(maxImageNames, "function")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nfuncs; i++ {
+		pc, err := r.u64("function entry")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && pc <= p.Funcs[i-1] {
+			return nil, fmt.Errorf("sysos: load: function table not strictly increasing at 0x%x", pc)
+		}
+		p.Funcs = append(p.Funcs, pc)
+	}
+
+	njt, err := r.count(maxImageNames, "jump table")
+	if err != nil {
+		return nil, err
+	}
+	var prevJT uint64
+	for i := 0; i < njt; i++ {
+		pc, err := r.u64("jump-table pc")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && pc <= prevJT {
+			return nil, fmt.Errorf("sysos: load: jump tables not strictly sorted at 0x%x", pc)
+		}
+		prevJT = pc
+		k, err := r.count(maxImageTargets, "jump target")
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			return nil, fmt.Errorf("sysos: load: empty jump table at 0x%x", pc)
+		}
+		tgts := make([]uint64, k)
+		for j := range tgts {
+			if tgts[j], err = r.u64("jump target"); err != nil {
+				return nil, err
+			}
+		}
+		p.JumpTargets[pc] = tgts
+	}
+
+	sum, err := r.u32("checksum")
+	if err != nil {
+		return nil, err
+	}
+	if want := crc32.ChecksumIEEE(img[:r.pos-4]); sum != want {
+		return nil, fmt.Errorf("sysos: load: checksum mismatch (image 0x%08x, computed 0x%08x)", sum, want)
+	}
+	if r.pos != len(img) {
+		return nil, fmt.Errorf("sysos: load: %d trailing bytes after checksum", len(img)-r.pos)
+	}
+	return p, nil
+}
+
+// LoadSource assembles source text and round-trips it through the image
+// codec — the standard way a kernel workload becomes a Program, so the
+// loader sits in the real run path rather than beside it.
+func LoadSource(src string) (*isa.Program, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	img, err := EncodeImage(p)
+	if err != nil {
+		return nil, err
+	}
+	return LoadImage(img)
+}

@@ -1,0 +1,230 @@
+package kernels
+
+// BFS reads V, E, and a seed from stdin, generates E random directed
+// edges, builds a CSR adjacency structure in place (degree count, prefix
+// sum, cursor fill), then runs breadth-first search from vertex 0 with an
+// explicit queue and reports reachability and the distance sum. Pointer-
+// chasing loads feeding hard-to-predict visited tests — mcf's shape, but
+// over a runtime-built heap.
+func BFS() Program {
+	const src = `# bfs: random digraph -> CSR -> breadth-first search from vertex 0
+        .text
+        .func main
+main:
+        li   $v0, 5
+        syscall                   # read V
+        move $s0, $v0
+        li   $v0, 5
+        syscall                   # read E
+        move $s1, $v0
+        li   $v0, 5
+        syscall                   # read seed
+        move $s2, $v0
+
+        sll  $a0, $s1, 3
+        li   $v0, 9
+        syscall
+        move $s3, $v0             # eu[E] edge sources
+        sll  $a0, $s1, 3
+        li   $v0, 9
+        syscall
+        move $s4, $v0             # ev[E] edge targets
+        addi $t0, $s0, 1
+        sll  $a0, $t0, 3
+        li   $v0, 9
+        syscall
+        move $s5, $v0             # off[V+1]: degrees, then offsets
+        sll  $a0, $s1, 3
+        li   $v0, 9
+        syscall
+        move $s6, $v0             # adj[E]
+        sll  $a0, $s0, 3
+        li   $v0, 9
+        syscall
+        move $s7, $v0             # dist[V]
+
+        # generate edges u=lcg()%V, v=lcg()%V and count degrees
+        move $t0, $zero
+        li   $t9, 1103515245
+bfs_gen:
+        bge  $t0, $s1, bfs_gen_done
+        mul  $s2, $s2, $t9
+        addi $s2, $s2, 12345
+        li   $t1, 0x7fffffff
+        and  $s2, $s2, $t1
+        rem  $t2, $s2, $s0        # u
+        mul  $s2, $s2, $t9
+        addi $s2, $s2, 12345
+        li   $t1, 0x7fffffff
+        and  $s2, $s2, $t1
+        rem  $t3, $s2, $s0        # v
+        sll  $t4, $t0, 3
+        add  $t5, $s3, $t4
+        sd   $t2, 0($t5)
+        add  $t5, $s4, $t4
+        sd   $t3, 0($t5)
+        sll  $t4, $t2, 3
+        add  $t5, $s5, $t4
+        ld   $t6, 0($t5)
+        addi $t6, $t6, 1
+        sd   $t6, 0($t5)          # deg[u]++
+        addi $t0, $t0, 1
+        j    bfs_gen
+bfs_gen_done:
+
+        # prefix sum: off[i] <- sum of deg[0..i-1]
+        move $t0, $zero
+        move $t7, $zero           # running total
+bfs_pfx:
+        bgt  $t0, $s0, bfs_pfx_done
+        sll  $t4, $t0, 3
+        add  $t5, $s5, $t4
+        ld   $t6, 0($t5)
+        sd   $t7, 0($t5)
+        add  $t7, $t7, $t6
+        addi $t0, $t0, 1
+        j    bfs_pfx
+bfs_pfx_done:
+
+        # fill adj with off as cursors; afterwards off[u] = end offset of u
+        move $t0, $zero
+bfs_fill:
+        bge  $t0, $s1, bfs_fill_done
+        sll  $t4, $t0, 3
+        add  $t5, $s3, $t4
+        ld   $t2, 0($t5)          # u
+        add  $t5, $s4, $t4
+        ld   $t3, 0($t5)          # v
+        sll  $t4, $t2, 3
+        add  $t5, $s5, $t4
+        ld   $t6, 0($t5)          # cursor
+        sll  $t4, $t6, 3
+        add  $t4, $s6, $t4
+        sd   $t3, 0($t4)          # adj[cursor] = v
+        addi $t6, $t6, 1
+        sd   $t6, 0($t5)
+        addi $t0, $t0, 1
+        j    bfs_fill
+bfs_fill_done:
+
+        # dist[] = -1
+        move $t0, $zero
+        li   $t1, -1
+bfs_init:
+        bge  $t0, $s0, bfs_init_done
+        sll  $t4, $t0, 3
+        add  $t5, $s7, $t4
+        sd   $t1, 0($t5)
+        addi $t0, $t0, 1
+        j    bfs_init
+bfs_init_done:
+
+        # queue (fresh allocation; eu/ev are dead after the fill)
+        sll  $a0, $s0, 3
+        li   $v0, 9
+        syscall
+        move $s3, $v0             # queue[V]
+        sd   $zero, 0($s7)        # dist[0] = 0
+        sd   $zero, 0($s3)        # queue[0] = 0
+        move $t0, $zero           # head
+        li   $t1, 1               # tail
+bfs_loop:
+        bge  $t0, $t1, bfs_loop_done
+        sll  $t4, $t0, 3
+        add  $t5, $s3, $t4
+        ld   $t2, 0($t5)          # u
+        addi $t0, $t0, 1
+        beq  $t2, $zero, bfs_u0
+        addi $t4, $t2, -1
+        sll  $t4, $t4, 3
+        add  $t5, $s5, $t4
+        ld   $t3, 0($t5)          # start = off[u-1]
+        j    bfs_have_start
+bfs_u0:
+        move $t3, $zero           # vertex 0 starts at offset 0
+bfs_have_start:
+        sll  $t4, $t2, 3
+        add  $t5, $s5, $t4
+        ld   $t6, 0($t5)          # end = off[u]
+        sll  $t4, $t2, 3
+        add  $t5, $s7, $t4
+        ld   $t7, 0($t5)          # du = dist[u]
+bfs_nbrs:
+        bge  $t3, $t6, bfs_loop
+        sll  $a2, $t3, 3
+        add  $a2, $s6, $a2
+        ld   $t8, 0($a2)          # w = adj[cursor]
+        addi $t3, $t3, 1
+        sll  $a3, $t8, 3
+        add  $a3, $s7, $a3        # &dist[w]
+        ld   $a2, 0($a3)
+        bgez $a2, bfs_nbrs        # already visited
+        addi $a2, $t7, 1
+        sd   $a2, 0($a3)          # dist[w] = du + 1
+        sll  $a2, $t1, 3
+        add  $a2, $s3, $a2
+        sd   $t8, 0($a2)          # enqueue w
+        addi $t1, $t1, 1
+        j    bfs_nbrs
+bfs_loop_done:
+
+        # tally visited count and distance sum
+        move $t0, $zero
+        move $s2, $zero           # visited
+        move $s4, $zero           # distance sum
+bfs_tally:
+        bge  $t0, $s0, bfs_tally_done
+        sll  $t4, $t0, 3
+        add  $t5, $s7, $t4
+        ld   $t2, 0($t5)
+        bltz $t2, bfs_tally_next
+        addi $s2, $s2, 1
+        add  $s4, $s4, $t2
+bfs_tally_next:
+        addi $t0, $t0, 1
+        j    bfs_tally
+bfs_tally_done:
+
+        la   $a0, m_name
+        li   $v0, 4
+        syscall
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        la   $a0, m_sep
+        li   $v0, 4
+        syscall
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        la   $a0, m_vis
+        li   $v0, 4
+        syscall
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        la   $a0, m_sum
+        li   $v0, 4
+        syscall
+        move $a0, $s4
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+
+        .data
+m_name: .asciiz "bfs "
+m_sep:  .asciiz " "
+m_vis:  .asciiz "\nvisited "
+m_sum:  .asciiz "\nsum "
+`
+	return Program{
+		Name:      "bfs",
+		Source:    src,
+		Stdin:     []byte("1500 6000 99\n"),
+		MaxInstrs: 2_000_000,
+	}
+}

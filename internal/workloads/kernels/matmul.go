@@ -1,0 +1,160 @@
+package kernels
+
+// MatMul reads n and a seed from stdin, fills two n×n int64 matrices with
+// small LCG values in [-8, 7], multiplies them with the classic triple
+// loop (pointer-strided inner product), and prints the trace and full sum
+// of the product. The tight counted inner loop with no control hazards is
+// the family's best case for the superscalar baseline — a useful contrast
+// point for the spawn-attribution numbers.
+func MatMul() Program {
+	const src = `# matmul: n x n int64 triple-loop product over sbrk'd matrices
+        .text
+        .func main
+main:
+        li   $v0, 5
+        syscall                   # read n
+        move $s0, $v0
+        li   $v0, 5
+        syscall                   # read seed
+        move $s1, $v0
+        mul  $s5, $s0, $s0        # n^2 elements per matrix
+        sll  $a0, $s5, 3
+        li   $v0, 9
+        syscall
+        move $s2, $v0             # A
+        sll  $a0, $s5, 3
+        li   $v0, 9
+        syscall
+        move $s3, $v0             # B
+        sll  $a0, $s5, 3
+        li   $v0, 9
+        syscall
+        move $s4, $v0             # C
+
+        # fill A then B with (lcg() & 15) - 8
+        li   $t9, 1103515245
+        move $t0, $zero
+mm_fill_a:
+        bge  $t0, $s5, mm_fill_a_done
+        mul  $s1, $s1, $t9
+        addi $s1, $s1, 12345
+        li   $t1, 0x7fffffff
+        and  $s1, $s1, $t1
+        andi $t2, $s1, 15
+        addi $t2, $t2, -8
+        sll  $t3, $t0, 3
+        add  $t3, $s2, $t3
+        sd   $t2, 0($t3)
+        addi $t0, $t0, 1
+        j    mm_fill_a
+mm_fill_a_done:
+        move $t0, $zero
+mm_fill_b:
+        bge  $t0, $s5, mm_fill_b_done
+        mul  $s1, $s1, $t9
+        addi $s1, $s1, 12345
+        li   $t1, 0x7fffffff
+        and  $s1, $s1, $t1
+        andi $t2, $s1, 15
+        addi $t2, $t2, -8
+        sll  $t3, $t0, 3
+        add  $t3, $s3, $t3
+        sd   $t2, 0($t3)
+        addi $t0, $t0, 1
+        j    mm_fill_b
+mm_fill_b_done:
+
+        # C[i][j] = sum_k A[i][k] * B[k][j]
+        move $t0, $zero           # i
+mm_i:
+        bge  $t0, $s0, mm_done
+        move $t1, $zero           # j
+mm_j:
+        bge  $t1, $s0, mm_i_next
+        move $t4, $zero           # accumulator
+        mul  $t5, $t0, $s0
+        sll  $t5, $t5, 3
+        add  $t5, $s2, $t5        # pa = &A[i][0]
+        sll  $t6, $t1, 3
+        add  $t6, $s3, $t6        # pb = &B[0][j]
+        sll  $t7, $s0, 3          # row stride in bytes
+        move $t2, $zero           # k
+mm_k:
+        bge  $t2, $s0, mm_k_done
+        ld   $t8, 0($t5)
+        ld   $a2, 0($t6)
+        mul  $t8, $t8, $a2
+        add  $t4, $t4, $t8
+        addi $t5, $t5, 8
+        add  $t6, $t6, $t7
+        addi $t2, $t2, 1
+        j    mm_k
+mm_k_done:
+        mul  $t5, $t0, $s0
+        add  $t5, $t5, $t1
+        sll  $t5, $t5, 3
+        add  $t5, $s4, $t5
+        sd   $t4, 0($t5)          # C[i][j]
+        addi $t1, $t1, 1
+        j    mm_j
+mm_i_next:
+        addi $t0, $t0, 1
+        j    mm_i
+mm_done:
+
+        # trace = sum C[i][i], total = sum of all cells
+        move $t0, $zero
+        move $s6, $zero           # trace
+        move $s7, $zero           # total
+mm_reduce:
+        bge  $t0, $s5, mm_reduce_done
+        sll  $t3, $t0, 3
+        add  $t3, $s4, $t3
+        ld   $t2, 0($t3)
+        add  $s7, $s7, $t2
+        # on the diagonal iff index mod (n+1) == 0
+        addi $t4, $s0, 1
+        rem  $t5, $t0, $t4
+        bne  $t5, $zero, mm_reduce_next
+        add  $s6, $s6, $t2
+mm_reduce_next:
+        addi $t0, $t0, 1
+        j    mm_reduce
+mm_reduce_done:
+
+        la   $a0, m_name
+        li   $v0, 4
+        syscall
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        la   $a0, m_tr
+        li   $v0, 4
+        syscall
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        la   $a0, m_sum
+        li   $v0, 4
+        syscall
+        move $a0, $s7
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+
+        .data
+m_name: .asciiz "matmul "
+m_tr:   .asciiz "\ntrace "
+m_sum:  .asciiz "\nsum "
+`
+	return Program{
+		Name:      "matmul",
+		Source:    src,
+		Stdin:     []byte("32 5\n"),
+		MaxInstrs: 2_000_000,
+	}
+}

@@ -1,0 +1,164 @@
+package kernels
+
+// Quicksort reads N and an LCG seed from stdin, fills an sbrk'd array
+// with pseudo-random 16-bit values, sorts it with recursive Lomuto
+// quicksort, then verifies the order and prints a summary. The recursive
+// partition gives the attribution pass procedure-boundary spawn points on
+// top of the loop-heavy fill/verify passes.
+func Quicksort() Program {
+	const src = `# quicksort: recursive Lomuto partition over an sbrk'd array
+        .text
+        .func main
+main:
+        li   $v0, 5
+        syscall                   # read N
+        move $s0, $v0
+        li   $v0, 5
+        syscall                   # read seed
+        move $s1, $v0
+        sll  $a0, $s0, 3
+        li   $v0, 9
+        syscall                   # sbrk(8*N)
+        move $s2, $v0             # array base
+
+        # fill a[i] = lcg() & 0xffff
+        move $t0, $zero
+        move $t1, $s2
+        li   $s3, 1103515245
+qs_fill:
+        bge  $t0, $s0, qs_fill_done
+        mul  $s1, $s1, $s3
+        addi $s1, $s1, 12345
+        li   $t2, 0x7fffffff
+        and  $s1, $s1, $t2
+        andi $t3, $s1, 0xffff
+        sd   $t3, 0($t1)
+        addi $t1, $t1, 8
+        addi $t0, $t0, 1
+        j    qs_fill
+qs_fill_done:
+
+        # qsort(&a[0], &a[N-1])
+        move $a0, $s2
+        addi $t0, $s0, -1
+        sll  $t0, $t0, 3
+        add  $a1, $s2, $t0
+        call qsort
+
+        # verify ascending order and sum the array
+        move $t0, $zero
+        move $t1, $s2
+        move $s4, $zero           # sum
+        move $s5, $zero           # inversions
+        li   $t4, -1              # prev
+qs_check:
+        bge  $t0, $s0, qs_check_done
+        ld   $t2, 0($t1)
+        add  $s4, $s4, $t2
+        bge  $t2, $t4, qs_check_ok
+        addi $s5, $s5, 1
+qs_check_ok:
+        move $t4, $t2
+        addi $t1, $t1, 8
+        addi $t0, $t0, 1
+        j    qs_check
+qs_check_done:
+
+        la   $a0, m_name
+        li   $v0, 4
+        syscall
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        la   $a0, m_sum
+        li   $v0, 4
+        syscall
+        move $a0, $s4
+        li   $v0, 1
+        syscall
+        la   $a0, m_inv
+        li   $v0, 4
+        syscall
+        move $a0, $s5
+        li   $v0, 1
+        syscall
+        la   $a0, m_min
+        li   $v0, 4
+        syscall
+        ld   $a0, 0($s2)
+        li   $v0, 1
+        syscall
+        la   $a0, m_max
+        li   $v0, 4
+        syscall
+        addi $t0, $s0, -1
+        sll  $t0, $t0, 3
+        add  $t0, $s2, $t0
+        ld   $a0, 0($t0)
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall                   # trailing newline
+        li   $v0, 10
+        syscall                   # exit 0
+
+        # qsort(lo addr $a0, hi addr $a1), both inclusive
+        .func qsort
+qsort:
+        bge  $a0, $a1, qsort_ret
+        addi $sp, $sp, -32
+        sd   $ra, 24($sp)
+        sd   $s0, 16($sp)
+        sd   $s1, 8($sp)
+        sd   $s2, 0($sp)
+        move $s0, $a0             # lo
+        move $s1, $a1             # hi
+        ld   $t0, 0($s1)          # pivot = *hi
+        addi $s2, $s0, -8         # i = lo - 1
+        move $t1, $s0             # j = lo
+qsort_part:
+        bge  $t1, $s1, qsort_part_done
+        ld   $t2, 0($t1)
+        bgt  $t2, $t0, qsort_part_next
+        addi $s2, $s2, 8
+        ld   $t3, 0($s2)
+        sd   $t2, 0($s2)
+        sd   $t3, 0($t1)
+qsort_part_next:
+        addi $t1, $t1, 8
+        j    qsort_part
+qsort_part_done:
+        addi $s2, $s2, 8          # pivot slot
+        ld   $t3, 0($s2)
+        ld   $t2, 0($s1)
+        sd   $t2, 0($s2)
+        sd   $t3, 0($s1)
+        move $a0, $s0
+        addi $a1, $s2, -8
+        call qsort                # left half
+        addi $a0, $s2, 8
+        move $a1, $s1
+        call qsort                # right half
+        ld   $s2, 0($sp)
+        ld   $s1, 8($sp)
+        ld   $s0, 16($sp)
+        ld   $ra, 24($sp)
+        addi $sp, $sp, 32
+qsort_ret:
+        ret
+
+        .data
+m_name: .asciiz "qsort "
+m_sum:  .asciiz "\nsum "
+m_inv:  .asciiz "\ninv "
+m_min:  .asciiz "\nmin "
+m_max:  .asciiz "\nmax "
+`
+	return Program{
+		Name:      "quicksort",
+		Source:    src,
+		Stdin:     []byte("1500 42\n"),
+		MaxInstrs: 2_000_000,
+	}
+}

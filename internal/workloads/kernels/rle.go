@@ -1,0 +1,180 @@
+package kernels
+
+// RLE reads a seed and source length from stdin, synthesizes a bytestream
+// of short runs over a four-letter alphabet, compresses it into
+// (count, byte) pairs, decompresses the pairs, and verifies the round
+// trip byte for byte. Four sequential byte-granular passes with
+// data-dependent run lengths — the shape bzip2's coding stages take.
+func RLE() Program {
+	const src = `# rle: run-length compress + decompress + verify round trip
+        .text
+        .func main
+main:
+        li   $v0, 5
+        syscall                   # read seed
+        move $s6, $v0
+        li   $v0, 5
+        syscall                   # read source length
+        move $s0, $v0
+
+        move $a0, $s0
+        li   $v0, 9
+        syscall
+        move $s1, $v0             # src buffer
+        sll  $a0, $s0, 1
+        li   $v0, 9
+        syscall
+        move $s2, $v0             # enc buffer (worst case 2x)
+        move $a0, $s0
+        li   $v0, 9
+        syscall
+        move $s3, $v0             # dec buffer
+
+        # generate src as runs: byte 'a'+(x&3), length ((x>>2)&7)+1
+        move $t0, $zero           # i
+        li   $s7, 1103515245
+rle_gen:
+        bge  $t0, $s0, rle_gen_done
+        mul  $s6, $s6, $s7
+        addi $s6, $s6, 12345
+        li   $t1, 0x7fffffff
+        and  $s6, $s6, $t1
+        andi $t2, $s6, 3
+        addi $t2, $t2, 97         # run byte
+        srl  $t3, $s6, 2
+        andi $t3, $t3, 7
+        addi $t3, $t3, 1          # run length 1..8
+rle_gen_run:
+        blez $t3, rle_gen
+        bge  $t0, $s0, rle_gen_done
+        add  $t4, $s1, $t0
+        sb   $t2, 0($t4)
+        addi $t0, $t0, 1
+        addi $t3, $t3, -1
+        j    rle_gen_run
+rle_gen_done:
+
+        # compress into (count, byte) pairs, count capped at 255
+        move $t0, $zero           # src index
+        move $t5, $zero           # enc length
+rle_comp:
+        bge  $t0, $s0, rle_comp_done
+        add  $t4, $s1, $t0
+        lbu  $t2, 0($t4)          # run byte
+        move $t3, $zero           # run count
+rle_comp_run:
+        bge  $t0, $s0, rle_comp_emit
+        add  $t4, $s1, $t0
+        lbu  $t6, 0($t4)
+        bne  $t6, $t2, rle_comp_emit
+        li   $t7, 255
+        bge  $t3, $t7, rle_comp_emit
+        addi $t3, $t3, 1
+        addi $t0, $t0, 1
+        j    rle_comp_run
+rle_comp_emit:
+        add  $t4, $s2, $t5
+        sb   $t3, 0($t4)
+        addi $t5, $t5, 1
+        add  $t4, $s2, $t5
+        sb   $t2, 0($t4)
+        addi $t5, $t5, 1
+        j    rle_comp
+rle_comp_done:
+        move $s4, $t5             # enc length
+
+        # decompress
+        move $t0, $zero           # enc index
+        move $t1, $zero           # dec index
+rle_dec:
+        bge  $t0, $s4, rle_dec_done
+        add  $t4, $s2, $t0
+        lbu  $t3, 0($t4)          # count
+        addi $t0, $t0, 1
+        add  $t4, $s2, $t0
+        lbu  $t2, 0($t4)          # byte
+        addi $t0, $t0, 1
+rle_dec_run:
+        blez $t3, rle_dec
+        add  $t4, $s3, $t1
+        sb   $t2, 0($t4)
+        addi $t1, $t1, 1
+        addi $t3, $t3, -1
+        j    rle_dec_run
+rle_dec_done:
+
+        # compare src vs dec
+        move $t0, $zero
+        move $s5, $zero           # mismatches
+rle_cmp:
+        bge  $t0, $s0, rle_cmp_done
+        add  $t4, $s1, $t0
+        lbu  $t2, 0($t4)
+        add  $t4, $s3, $t0
+        lbu  $t3, 0($t4)
+        beq  $t2, $t3, rle_cmp_ok
+        addi $s5, $s5, 1
+rle_cmp_ok:
+        addi $t0, $t0, 1
+        j    rle_cmp
+rle_cmp_done:
+
+        # checksum the encoding: crc = (crc*31 + b) & 0xffffff
+        move $t0, $zero
+        move $s6, $zero
+rle_sum:
+        bge  $t0, $s4, rle_sum_done
+        add  $t4, $s2, $t0
+        lbu  $t2, 0($t4)
+        li   $t3, 31
+        mul  $s6, $s6, $t3
+        add  $s6, $s6, $t2
+        li   $t3, 0xffffff
+        and  $s6, $s6, $t3
+        addi $t0, $t0, 1
+        j    rle_sum
+rle_sum_done:
+
+        la   $a0, m_name
+        li   $v0, 4
+        syscall
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        la   $a0, m_enc
+        li   $v0, 4
+        syscall
+        move $a0, $s4
+        li   $v0, 1
+        syscall
+        la   $a0, m_bad
+        li   $v0, 4
+        syscall
+        move $a0, $s5
+        li   $v0, 1
+        syscall
+        la   $a0, m_crc
+        li   $v0, 4
+        syscall
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+
+        .data
+m_name: .asciiz "rle "
+m_enc:  .asciiz "\nenc "
+m_bad:  .asciiz "\nbad "
+m_crc:  .asciiz "\ncrc "
+`
+	return Program{
+		Name:      "rle",
+		Source:    src,
+		Stdin:     []byte("7 10000\n"),
+		MaxInstrs: 2_000_000,
+	}
+}

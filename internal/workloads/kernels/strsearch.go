@@ -1,0 +1,137 @@
+package kernels
+
+// StrSearch reads a text length, a seed, and a pattern from stdin (the
+// pattern arrives through read_char, exercising byte-level console
+// input), synthesizes the text over a four-letter alphabet, and counts
+// naive-search matches. The inner comparison loop almost always exits on
+// its first iteration — a stream of highly biased, data-dependent
+// branches, the shape the paper sees in string/parser codes.
+func StrSearch() Program {
+	const src = `# strsearch: naive pattern scan over LCG text, pattern from stdin
+        .text
+        .func main
+main:
+        li   $v0, 5
+        syscall                   # read text length
+        move $s0, $v0
+        li   $v0, 5
+        syscall                   # read seed
+        move $s1, $v0
+
+        # read pattern bytes into pbuf: skip leading whitespace, stop on
+        # newline/space/EOF or a full buffer
+        la   $t0, pbuf
+        move $s2, $zero           # pattern length
+ss_rdp:
+        li   $v0, 12
+        syscall                   # read_char
+        bltz $v0, ss_rdp_done     # EOF
+        li   $t1, 32
+        beq  $v0, $t1, ss_rdp_sp
+        li   $t1, 10
+        beq  $v0, $t1, ss_rdp_done
+        li   $t1, 13
+        beq  $v0, $t1, ss_rdp_done
+        add  $t2, $t0, $s2
+        sb   $v0, 0($t2)
+        addi $s2, $s2, 1
+        li   $t1, 63
+        bge  $s2, $t1, ss_rdp_done
+        j    ss_rdp
+ss_rdp_sp:
+        blez $s2, ss_rdp          # leading space: keep skipping
+        j    ss_rdp_done          # trailing space ends the pattern
+ss_rdp_done:
+
+        # generate text: 'a' + (lcg() & 3)
+        move $a0, $s0
+        li   $v0, 9
+        syscall
+        move $s3, $v0             # text buffer
+        move $t0, $zero
+        li   $t9, 1103515245
+ss_gen:
+        bge  $t0, $s0, ss_gen_done
+        mul  $s1, $s1, $t9
+        addi $s1, $s1, 12345
+        li   $t1, 0x7fffffff
+        and  $s1, $s1, $t1
+        andi $t2, $s1, 3
+        addi $t2, $t2, 97
+        add  $t3, $s3, $t0
+        sb   $t2, 0($t3)
+        addi $t0, $t0, 1
+        j    ss_gen
+ss_gen_done:
+
+        # naive search: for each start i <= T-plen, extend while equal
+        move $s4, $zero           # match count
+        move $s5, $zero           # sum of match positions
+        sub  $s6, $s0, $s2        # last valid start
+        move $t0, $zero           # i
+        la   $t8, pbuf
+ss_outer:
+        bgt  $t0, $s6, ss_done
+        move $t1, $zero           # j
+ss_inner:
+        bge  $t1, $s2, ss_hit
+        add  $t2, $s3, $t0
+        add  $t2, $t2, $t1
+        lbu  $t3, 0($t2)
+        add  $t4, $t8, $t1
+        lbu  $t5, 0($t4)
+        bne  $t3, $t5, ss_next
+        addi $t1, $t1, 1
+        j    ss_inner
+ss_hit:
+        addi $s4, $s4, 1
+        add  $s5, $s5, $t0
+ss_next:
+        addi $t0, $t0, 1
+        j    ss_outer
+ss_done:
+
+        la   $a0, m_name
+        li   $v0, 4
+        syscall
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        la   $a0, m_plen
+        li   $v0, 4
+        syscall
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        la   $a0, m_hits
+        li   $v0, 4
+        syscall
+        move $a0, $s4
+        li   $v0, 1
+        syscall
+        la   $a0, m_pos
+        li   $v0, 4
+        syscall
+        move $a0, $s5
+        li   $v0, 1
+        syscall
+        li   $a0, 10
+        li   $v0, 11
+        syscall
+        li   $v0, 10
+        syscall
+
+        .data
+m_name: .asciiz "strsearch "
+m_plen: .asciiz "\nplen "
+m_hits: .asciiz "\nhits "
+m_pos:  .asciiz "\npossum "
+pbuf:   .space 64
+`
+	return Program{
+		Name:      "strsearch",
+		Source:    src,
+		Stdin:     []byte("12000 3 abcab\n"),
+		MaxInstrs: 2_000_000,
+	}
+}

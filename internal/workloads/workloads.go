@@ -22,6 +22,8 @@
 package workloads
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -30,20 +32,92 @@ import (
 	"sync"
 
 	"repro/internal/asm"
+	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/sysos"
+	"repro/internal/workloads/kernels"
 )
 
-// Workload is one synthetic benchmark.
+// Workload families. The synthetic family is the paper's twelve
+// SPEC2000int stand-ins with generator-baked data segments; the kernels
+// family (internal/workloads/kernels) is five algorithmic kernels that
+// run over the sysos loader + syscall path with stdin-parameterized data.
+const (
+	FamilySynthetic = "synthetic"
+	FamilyKernels   = "kernels"
+)
+
+// Workload is one registered benchmark program.
 type Workload struct {
 	Name   string
 	Source string
 	// MaxInstrs is the emulation cap; programs halt well before it.
 	MaxInstrs int
+	// Family tags which runtime the workload needs (empty means
+	// FamilySynthetic, so zero-value construction stays valid).
+	Family string
+	// Stdin is the preloaded console input for kernels-family programs.
+	Stdin []byte
 }
 
-// Assemble assembles the workload (panicking on error: the built-in sources
-// are fixtures whose validity is asserted by tests).
-func (w Workload) Assemble() *isa.Program { return asm.MustAssemble(w.Source) }
+// Assemble builds the workload's program image (panicking on error: the
+// built-in sources are fixtures whose validity is asserted by tests).
+// Kernels-family sources round-trip through the sysos object-image codec,
+// so every run path exercises the loader.
+func (w Workload) Assemble() *isa.Program {
+	if w.Family == FamilyKernels {
+		p, err := sysos.LoadSource(w.Source)
+		if err != nil {
+			panic(fmt.Sprintf("workloads: loading %s: %v", w.Name, err))
+		}
+		return p
+	}
+	return asm.MustAssemble(w.Source)
+}
+
+// SHA returns the workload's cache identity: the hex SHA-256 of its
+// source, with the stdin folded in when present. For stdin-less workloads
+// this is exactly artifact.SourceSHA(w.Source), so the synthetic family's
+// existing artifact keys are unchanged.
+func (w Workload) SHA() string {
+	h := sha256.New()
+	h.Write([]byte(w.Source))
+	if len(w.Stdin) > 0 {
+		h.Write([]byte{0})
+		h.Write(w.Stdin)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FamilyName returns the workload's family, mapping the zero value to
+// FamilySynthetic.
+func (w Workload) FamilyName() string {
+	if w.Family == "" {
+		return FamilySynthetic
+	}
+	return w.Family
+}
+
+// NewOS returns a fresh syscall handler for one run of the workload: a
+// sysos instance over the workload's stdin for the kernels family, nil
+// for synthetic workloads (which make no syscalls). Handlers are
+// stateful, so every emulation and architectural re-check needs its own.
+func (w Workload) NewOS() emu.SyscallHandler {
+	if w.Family != FamilyKernels {
+		return nil
+	}
+	return sysos.New(sysos.Config{Stdin: w.Stdin})
+}
+
+// Segments returns the memory map to enforce while emulating the
+// workload, nil for the synthetic family (whose generators lay data out
+// by absolute address without a heap or stack).
+func (w Workload) Segments(prog *isa.Program) []emu.Segment {
+	if w.Family != FamilyKernels {
+		return nil
+	}
+	return sysos.Segments(prog)
+}
 
 // The generators are deterministic (fixed rand seeds — SourceSHA keys the
 // artifact cache on their output), so the workload table is built exactly
@@ -57,21 +131,63 @@ var (
 			Parser(), Perlbmk(), Twolf(), Vortex(), VPRPlace(), VPRRoute(),
 		}
 	})
+	kernelWorkloads = sync.OnceValue(func() []Workload {
+		var out []Workload
+		for _, k := range kernels.All() {
+			out = append(out, Workload{
+				Name:      k.Name,
+				Source:    k.Source,
+				MaxInstrs: k.MaxInstrs,
+				Family:    FamilyKernels,
+				Stdin:     k.Stdin,
+			})
+		}
+		return out
+	})
 	workloadIndex = sync.OnceValue(func() map[string]Workload {
 		idx := make(map[string]Workload)
 		for _, w := range allWorkloads() {
+			idx[w.Name] = w
+		}
+		for _, w := range kernelWorkloads() {
+			if _, dup := idx[w.Name]; dup {
+				panic(fmt.Sprintf("workloads: kernel %q collides with a synthetic workload", w.Name))
+			}
 			idx[w.Name] = w
 		}
 		return idx
 	})
 )
 
-// All returns the twelve workloads in the paper's figure order.
+// All returns the twelve synthetic workloads in the paper's figure order.
+// (The name predates the kernels family; grid defaults and the pinned
+// figure set are built on it, so it deliberately excludes kernels — use
+// AllFamilies or Kernels for the rest.)
 func All() []Workload {
 	return slices.Clone(allWorkloads())
 }
 
-// Names returns the workload names in figure order.
+// Kernels returns the kernels-family workloads in family order.
+func Kernels() []Workload {
+	return slices.Clone(kernelWorkloads())
+}
+
+// Families lists the registered family names.
+func Families() []string { return []string{FamilySynthetic, FamilyKernels} }
+
+// ByFamily returns one family's workloads in its canonical order, or nil
+// for an unknown family name.
+func ByFamily(family string) []Workload {
+	switch family {
+	case FamilySynthetic, "":
+		return All()
+	case FamilyKernels:
+		return Kernels()
+	}
+	return nil
+}
+
+// Names returns the synthetic workload names in figure order.
 func Names() []string {
 	var out []string
 	for _, w := range allWorkloads() {
@@ -80,7 +196,17 @@ func Names() []string {
 	return out
 }
 
-// ByName returns the named workload.
+// AllNames returns every registered workload name: the synthetic twelve
+// in figure order, then the kernels in family order.
+func AllNames() []string {
+	out := Names()
+	for _, w := range kernelWorkloads() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// ByName returns the named workload from any family.
 func ByName(name string) (Workload, bool) {
 	w, ok := workloadIndex()[name]
 	return w, ok

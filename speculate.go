@@ -57,15 +57,37 @@ func Assemble(src string) (*isa.Program, error) { return asm.Assemble(src) }
 // in the trace augment the static jump tables, as in the paper's
 // profile-driven analysis).
 func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
+	return prepare(name, prog, maxInstrs, nil, nil, nil)
+}
+
+// PrepareWorkload prepares a registered workload under its family
+// runtime: kernels assemble through the object-image loader and emulate
+// over a fresh sysos instance with segment checking; the synthetic family
+// takes the bare path. Both land in the same Bench shape, which is why
+// every downstream run path is family-agnostic.
+func PrepareWorkload(w workloads.Workload) (*Bench, error) {
+	prog := w.Assemble()
+	b, err := prepare(w.Name, prog, w.MaxInstrs, w.NewOS(), w.NewOS(), w.Segments(prog))
+	if err != nil {
+		return nil, err
+	}
+	b.SourceSHA = w.SHA()
+	return b, nil
+}
+
+// prepare emulates, architecturally re-checks, and analyzes one program.
+// os drives the emulation and checkOS the re-check; they must be distinct
+// fresh instances (syscall handlers are stateful).
+func prepare(name string, prog *isa.Program, maxInstrs int, os, checkOS emu.SyscallHandler, segs []emu.Segment) (*Bench, error) {
 	emuRuns.Add(1)
-	tr, err := emu.Run(prog, emu.Config{MaxInstrs: maxInstrs})
+	tr, err := emu.Run(prog, emu.Config{MaxInstrs: maxInstrs, OS: os, Segments: segs})
 	if err != nil {
 		return nil, fmt.Errorf("speculate: emulating %s: %w", name, err)
 	}
 	// The paper's simulator compares every retired instruction against an
 	// architectural simulator; since the timing models are trace-driven,
 	// verifying the trace here gives the same guarantee up front.
-	if err := emu.Check(prog, tr); err != nil {
+	if err := emu.CheckOS(prog, tr, checkOS); err != nil {
 		return nil, fmt.Errorf("speculate: architectural check of %s failed: %w", name, err)
 	}
 	an, err := analyze(prog, tr.IndirectTargets())
@@ -82,8 +104,26 @@ func Prepare(name string, prog *isa.Program, maxInstrs int) (*Bench, error) {
 	}, nil
 }
 
-// WorkloadNames lists the built-in benchmarks in the paper's figure order.
+// WorkloadNames lists the synthetic benchmarks in the paper's figure
+// order (the default grid set).
 func WorkloadNames() []string { return workloads.Names() }
+
+// AllWorkloadNames lists every registered workload across families:
+// the synthetic twelve, then the kernels family.
+func AllWorkloadNames() []string { return workloads.AllNames() }
+
+// FamilyWorkloadNames lists one family's workload names in canonical
+// order (nil for an unknown family); see workloads.Families.
+func FamilyWorkloadNames(family string) []string {
+	var out []string
+	for _, w := range workloads.ByFamily(family) {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// WorkloadFamilies lists the registered family names.
+func WorkloadFamilies() []string { return workloads.Families() }
 
 // defaultWarmup models the paper's fast-forward through initialization:
 // the first chunk of the trace only warms caches and predictors.

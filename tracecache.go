@@ -112,7 +112,7 @@ func Load(name string) (*Bench, error) {
 func LoadCached(name string, cache *artifact.Cache) (*Bench, LoadSource, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
-		return nil, 0, fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.Names())
+		return nil, 0, fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.AllNames())
 	}
 	benchMu.Lock()
 	e := benchCache[name]
@@ -136,7 +136,7 @@ func LoadCached(name string, cache *artifact.Cache) (*Bench, LoadSource, error) 
 }
 
 func prepareCached(w workloads.Workload, cache *artifact.Cache) (*Bench, LoadSource, error) {
-	srcSHA := artifact.SourceSHA(w.Source)
+	srcSHA := w.SHA()
 	prog := w.Assemble()
 	var traceHash, anHash string
 	if cache != nil {
@@ -154,7 +154,7 @@ func prepareCached(w workloads.Workload, cache *artifact.Cache) (*Bench, LoadSou
 			// emulation; the fresh product overwrites it below.
 		}
 	}
-	b, err := Prepare(w.Name, prog, w.MaxInstrs)
+	b, err := prepare(w.Name, prog, w.MaxInstrs, w.NewOS(), w.NewOS(), w.Segments(prog))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -254,13 +254,13 @@ func FromTrace(name string, prog *isa.Program, tr *trace.Trace, deps *trace.Deps
 func LoadFromTraceData(name string, data []byte) (*Bench, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
-		return nil, fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.Names())
+		return nil, fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.AllNames())
 	}
 	tr, deps, err := tracestore.Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("speculate: decoding trace for %s: %w", name, err)
 	}
-	return FromTrace(w.Name, w.Assemble(), tr, deps, w.MaxInstrs, artifact.SourceSHA(w.Source))
+	return FromTrace(w.Name, w.Assemble(), tr, deps, w.MaxInstrs, w.SHA())
 }
 
 // EncodeTrace serializes the bench's trace and dependence information in
@@ -276,9 +276,9 @@ func (b *Bench) EncodeTrace() ([]byte, error) {
 func TraceBytes(name string, cache *artifact.Cache) ([]byte, string, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
-		return nil, "", fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.Names())
+		return nil, "", fmt.Errorf("speculate: unknown workload %q (have %v)", name, workloads.AllNames())
 	}
-	key, err := artifact.NewTraceKey(w.Name, artifact.SourceSHA(w.Source), w.MaxInstrs)
+	key, err := artifact.NewTraceKey(w.Name, w.SHA(), w.MaxInstrs)
 	if err != nil {
 		return nil, "", err
 	}

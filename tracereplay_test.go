@@ -16,10 +16,10 @@ import (
 // every workload and policy family. In -short mode a three-workload subset
 // runs; the full sweep covers all 12.
 func TestReplayBitIdentical(t *testing.T) {
-	names := speculate.WorkloadNames()
+	names := speculate.AllWorkloadNames()
 	policies := []string{"superscalar", "loop", "postdoms", "rec_pred"}
 	if testing.Short() {
-		names = []string{"gzip", "mcf", "twolf"}
+		names = []string{"gzip", "mcf", "twolf", "quicksort"}
 		policies = []string{"superscalar", "postdoms"}
 	}
 	for _, name := range names {
@@ -63,8 +63,10 @@ func TestGridDecodesOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// One synthetic workload and one kernel: the decode-once contract must
+	// hold for both families through the same grid path.
 	o := harness.Options{
-		Benches:    []string{"gzip", "mcf"},
+		Benches:    []string{"gzip", "mcf", "quicksort"},
 		Policies:   []string{"loop", "postdoms"},
 		TraceCache: cache,
 	}
@@ -75,8 +77,8 @@ func TestGridDecodesOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := speculate.EmulatorRuns() - before; got != 2 {
-		t.Errorf("cold grid ran the emulator %d times, want 2 (once per workload)", got)
+	if got := speculate.EmulatorRuns() - before; got != 3 {
+		t.Errorf("cold grid ran the emulator %d times, want 3 (once per workload)", got)
 	}
 
 	// Drop the in-process memo: the warm grid must be fed entirely from
